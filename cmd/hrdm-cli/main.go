@@ -1,0 +1,229 @@
+// Command hrdm-cli is an interactive HQL shell over a demo historical
+// database (the paper's personnel domain plus stock-market and shipment
+// relations).
+//
+// Usage:
+//
+//	hrdm-cli                        # interactive shell on the demo db
+//	hrdm-cli -q 'QUERY'             # run one query and exit
+//	hrdm-cli -db path.hrdm          # load a store saved with \save
+//
+// Shell commands: \l lists relations, \d NAME shows a scheme,
+// \save PATH / \load PATH persist the store in the binary format,
+// \loadtext PATH / \dumptext PATH use the human-editable text format
+// (see internal/storage/text.go), \q quits. Anything else is parsed as
+// an HQL query; see internal/hql for the grammar.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hql"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func main() {
+	query := flag.String("q", "", "run one query and exit")
+	dbPath := flag.String("db", "", "load a saved store instead of the demo database")
+	optimize := flag.Bool("opt", true, "apply the law-based plan rewrites before evaluating")
+	flag.Parse()
+	useOptimizer = *optimize
+
+	var st *storage.Store
+	if *dbPath != "" {
+		loaded, err := storage.Load(*dbPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hrdm-cli:", err)
+			os.Exit(1)
+		}
+		st = loaded
+	} else {
+		st = demoStore()
+	}
+
+	if *query != "" {
+		if err := runQuery(st, *query); err != nil {
+			fmt.Fprintln(os.Stderr, "hrdm-cli:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("HRDM shell — historical relational algebra (Clifford & Croker 1987)")
+	fmt.Println(`relations: ` + strings.Join(st.Names(), ", ") + `   try: SELECT WHEN SAL = 30000 FROM EMP   (\q quits, \l lists)`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("hrdm> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q`, line == "quit", line == "exit":
+			return
+		case line == `\opt`:
+			useOptimizer = !useOptimizer
+			fmt.Printf("  optimizer now %v\n", useOptimizer)
+		case line == `\l`:
+			for _, n := range st.Names() {
+				r, _ := st.Get(n)
+				fmt.Printf("  %s (%d tuples, lifespan %s)\n", n, r.Cardinality(), r.Lifespan())
+			}
+		case strings.HasPrefix(line, `\d `):
+			name := strings.TrimSpace(line[3:])
+			if r, ok := st.Get(name); ok {
+				fmt.Println(" ", r.Scheme())
+			} else {
+				fmt.Printf("  unknown relation %q\n", name)
+			}
+		case strings.HasPrefix(line, `\save `):
+			path := strings.TrimSpace(line[6:])
+			if err := st.Save(path); err != nil {
+				fmt.Println("  error:", err)
+			} else {
+				fmt.Println("  saved to", path)
+			}
+		case strings.HasPrefix(line, `\load `):
+			path := strings.TrimSpace(line[6:])
+			loaded, err := storage.Load(path)
+			if err != nil {
+				fmt.Println("  error:", err)
+			} else {
+				st = loaded
+				fmt.Println("  loaded", strings.Join(st.Names(), ", "))
+			}
+		case strings.HasPrefix(line, `\loadtext `):
+			path := strings.TrimSpace(line[10:])
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			loaded, err := storage.ParseText(f)
+			f.Close()
+			if err != nil {
+				fmt.Println("  error:", err)
+			} else {
+				st = loaded
+				fmt.Println("  loaded", strings.Join(st.Names(), ", "))
+			}
+		case strings.HasPrefix(line, `\dumptext `):
+			path := strings.TrimSpace(line[10:])
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			err = storage.DumpText(f, st)
+			f.Close()
+			if err != nil {
+				fmt.Println("  error:", err)
+			} else {
+				fmt.Println("  dumped to", path)
+			}
+		default:
+			if err := runQuery(st, line); err != nil {
+				fmt.Println("  error:", err)
+			}
+		}
+	}
+}
+
+// useOptimizer controls whether queries run through the Section 5
+// law-based rewriter; toggle interactively with \opt.
+var useOptimizer = true
+
+func runQuery(st *storage.Store, q string) error {
+	run := hql.Run
+	if useOptimizer {
+		run = hql.RunOptimized
+	}
+	res, err := run(q, st)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}
+
+// demoStore assembles the demo database: the paper's EMP example plus
+// workload-generated STOCK and a small SHIP relation with a time-valued
+// attribute for TIME-JOIN demos.
+func demoStore() *storage.Store {
+	st := storage.NewStore()
+
+	full := lifespan.Interval(0, 99)
+	es := schema.MustNew("EMP", []string{"NAME"},
+		schema.Attribute{Name: "NAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "SAL", Domain: value.Ints, Lifespan: full, Interp: "step"},
+		schema.Attribute{Name: "DEPT", Domain: value.Strings, Lifespan: full, Interp: "step"},
+	)
+	emp := core.NewRelation(es)
+	emp.MustInsert(core.NewTupleBuilder(es, lifespan.Interval(0, 9)).
+		Key("NAME", value.String_("John")).
+		Set("SAL", 0, 4, value.Int(30000)).
+		Set("SAL", 5, 9, value.Int(34000)).
+		Set("DEPT", 0, 9, value.String_("Toys")).
+		MustBuild())
+	emp.MustInsert(core.NewTupleBuilder(es, lifespan.Interval(3, 19)).
+		Key("NAME", value.String_("Mary")).
+		Set("SAL", 3, 19, value.Int(40000)).
+		Set("DEPT", 3, 9, value.String_("Shoes")).
+		Set("DEPT", 10, 19, value.String_("Books")).
+		MustBuild())
+	emp.MustInsert(core.NewTupleBuilder(es, lifespan.MustParse("{[0,3],[8,14]}")).
+		Key("NAME", value.String_("Ahmed")).
+		Set("SAL", 0, 3, value.Int(30000)).
+		Set("SAL", 8, 14, value.Int(31000)).
+		Set("DEPT", 0, 3, value.String_("Toys")).
+		Set("DEPT", 8, 14, value.String_("Books")).
+		MustBuild())
+	st.Put(emp)
+
+	ds := schema.MustNew("DEPTREL", []string{"DNAME"},
+		schema.Attribute{Name: "DNAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "FLOOR", Domain: value.Ints, Lifespan: full, Interp: "step"},
+	)
+	dept := core.NewRelation(ds)
+	for i, n := range []string{"Toys", "Shoes", "Books"} {
+		dept.MustInsert(core.NewTupleBuilder(ds, lifespan.Interval(0, 19)).
+			Key("DNAME", value.String_(n)).
+			Set("FLOOR", 0, 19, value.Int(int64(i+1))).
+			MustBuild())
+	}
+	st.Put(dept)
+
+	st.Put(workload.Stock(workload.StockConfig{
+		NumStocks: 5, HistoryLen: 60, VolumeGapLo: 0.4, VolumeGapHi: 0.7, Seed: 42,
+	}))
+
+	ss := schema.MustNew("SHIP", []string{"ID"},
+		schema.Attribute{Name: "ID", Domain: value.Ints, Lifespan: full},
+		schema.Attribute{Name: "SHIPDATE", Domain: value.Times, Lifespan: full},
+	)
+	ship := core.NewRelation(ss)
+	ship.MustInsert(core.NewTupleBuilder(ss, lifespan.Interval(0, 19)).
+		Key("ID", value.Int(1)).
+		Set("SHIPDATE", 0, 19, value.TimeVal(7)).
+		MustBuild())
+	ship.MustInsert(core.NewTupleBuilder(ss, lifespan.Interval(5, 19)).
+		Key("ID", value.Int(2)).
+		Set("SHIPDATE", 5, 12, value.TimeVal(9)).
+		Set("SHIPDATE", 13, 19, value.TimeVal(15)).
+		MustBuild())
+	st.Put(ship)
+	return st
+}

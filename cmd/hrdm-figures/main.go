@@ -1,0 +1,208 @@
+// Command hrdm-figures prints an executable reproduction of every figure
+// in the paper (Figures 1–11), each computed with the library rather than
+// drawn by hand: the lifespan-granularity hierarchy, the Figure 6
+// evolving schema, the Figure 7/8 tuple×attribute lifespan interaction,
+// the Figure 9 three-level architecture (via the interpolation and codec
+// paths), the Figure 10 three dimensions (via the three unary reducers),
+// and the Figure 11 union-vs-merge contrast.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/tfunc"
+	"repro/internal/value"
+)
+
+func section(n int, title string) {
+	fmt.Printf("\n───── Figure %d — %s ─────\n", n, title)
+}
+
+func main() {
+	figures1to5()
+	figure6()
+	figures7and8()
+	figure9()
+	figure10()
+	figure11()
+}
+
+// figures1to5 demonstrates the lifespan-granularity choices of Figures
+// 1–5: one lifespan per database / per relation / per tuple / per
+// attribute, as successively finer assignments.
+func figures1to5() {
+	section(1, "relational database instance hierarchy (database → relations → tuples)")
+	emp := demoEMP()
+	dept := demoDEPT()
+	fmt.Printf("database = {EMP (%d tuples), DEPTREL (%d tuples)}\n", emp.Cardinality(), dept.Cardinality())
+
+	section(2, "one lifespan for the entire database (coarsest granularity)")
+	dbLS := core.When(emp).Union(core.When(dept))
+	fmt.Println("LS(database) =", dbLS, "— every relation and tuple would be forced to share it")
+
+	section(3, "a lifespan per relation (Gadia-style homogeneity)")
+	fmt.Println("LS(EMP)     =", core.When(emp))
+	fmt.Println("LS(DEPTREL) =", core.When(dept))
+
+	section(4, "a lifespan per tuple (heterogeneous objects — HRDM)")
+	for _, t := range emp.Tuples() {
+		fmt.Printf("  %-8s ls = %s\n", t.KeyValue("NAME"), t.Lifespan())
+	}
+
+	section(5, "the schema side: relation schemes and their attributes")
+	fmt.Println(" ", emp.Scheme())
+	fmt.Println(" ", dept.Scheme())
+}
+
+// figure6 reproduces the DAILY-TRADING-VOLUME lifespan: recorded on
+// [t1,t2], dropped as too expensive, re-added from t3 through now.
+func figure6() {
+	section(6, "lifespan of attribute DAILY-TRADING-VOLUME (evolving schema)")
+	t1, t2, t3, now := chronon.Time(10), chronon.Time(20), chronon.Time(30), chronon.Time(40)
+	volLS := lifespan.Interval(t1, t2).Union(lifespan.Interval(t3, now))
+	full := lifespan.Interval(0, now)
+	s := schema.MustNew("STOCK", []string{"TICKER"},
+		schema.Attribute{Name: "TICKER", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "VOLUME", Domain: value.Ints, Lifespan: volLS},
+	)
+	fmt.Println("ALS(VOLUME, STOCK) =", s.ALS("VOLUME"))
+	fmt.Printf("defined at 15? %v   at 25 (gap)? %v   at 35? %v\n",
+		volLS.Contains(15), volLS.Contains(25), volLS.Contains(35))
+	fmt.Println("scheme lifespan (union of ALS) =", s.Lifespan())
+}
+
+// figures7and8 reproduce the tuple × attribute lifespan interaction: the
+// value of attribute An in tuple_m is defined over X ∩ Y.
+func figures7and8() {
+	section(7, "tuple lifespan Y × attribute lifespan X → value defined on X ∩ Y")
+	X := lifespan.MustParse("{[0,10],[20,30]}")
+	Y := lifespan.MustParse("{[5,25]}")
+	fmt.Println("ALS(An) = X =", X)
+	fmt.Println("tuple.l = Y =", Y)
+	fmt.Println("vls     = X ∩ Y =", X.Intersect(Y))
+
+	section(8, "lifespans associated with both tuples and attributes (heterogeneous tuples)")
+	emp := demoEMP()
+	s := emp.Scheme()
+	for _, t := range emp.Tuples() {
+		fmt.Printf("  %-8s tuple ls %-14s", t.KeyValue("NAME"), t.Lifespan())
+		for _, a := range s.Attrs {
+			if !s.IsKey(a.Name) {
+				fmt.Printf("  vls(%s)=%s", a.Name, t.VLS(s, a.Name))
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// figure9 walks a value through the three levels: representation
+// (sparse stored steps) → model (total function via interpolation) →
+// physical (binary codec round trip).
+func figure9() {
+	section(9, "representation / model / physical levels")
+	// Representation level: salary stored only at change points.
+	repr := (&tfunc.Builder{}).
+		SetAt(0, value.Int(30000)).
+		SetAt(5, value.Int(34000)).
+		Build()
+	fmt.Println("representation level (stored):", repr)
+	// Model level: the interpolation function I completes it.
+	target := lifespan.Interval(0, 9)
+	model, err := (tfunc.StepWise{}).Interpolate(repr, target)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("model level (I applied)      :", model)
+	// Physical level: encode/decode a relation holding the value.
+	emp := demoEMP()
+	blob, err := storage.EncodeBytes(emp)
+	if err != nil {
+		panic(err)
+	}
+	back, err := storage.DecodeBytes(blob)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("physical level               : %d bytes on disk, lossless=%v\n", len(blob), back.Equal(emp))
+}
+
+// figure10 exercises the three dimensions with the three unary reducers.
+func figure10() {
+	section(10, "three dimensions: SELECT (value), PROJECT (attribute), TIME-SLICE (time)")
+	emp := demoEMP()
+	sel, _ := core.SelectIf(emp, core.Predicate{Attr: "SAL", Theta: value.GE, Const: value.Int(34000)}, core.Exists, lifespan.All())
+	fmt.Printf("value dim:    σ-IF(SAL>=34000)  keeps %d of %d tuples\n", sel.Cardinality(), emp.Cardinality())
+	proj, _ := core.Project(emp, "NAME", "SAL")
+	fmt.Printf("attr dim:     π(NAME,SAL)       scheme %v → %v\n", emp.Scheme().AttrNames(), proj.Scheme().AttrNames())
+	sliced, _ := core.TimesliceStatic(emp, lifespan.Interval(0, 4))
+	fmt.Printf("time dim:     T_[0,4]            lifespan %s → %s\n", core.When(emp), core.When(sliced))
+}
+
+// figure11 contrasts plain union with the object-based merge union on
+// split histories of the same objects.
+func figure11() {
+	section(11, "r1 ∪ r2 (counter-intuitive) vs r1 + r2 (object merge)")
+	emp := demoEMP()
+	r1, _ := core.TimesliceStatic(emp, lifespan.Interval(0, 8))
+	r2, _ := core.TimesliceStatic(emp, lifespan.Interval(6, 19))
+	fmt.Printf("r1 = T_[0,8](EMP): %d tuples, r2 = T_[6,19](EMP): %d tuples\n", r1.Cardinality(), r2.Cardinality())
+	if _, err := core.Union(r1, r2); err != nil {
+		fmt.Println("plain ∪ :", err)
+	}
+	merged, err := core.UnionMerge(r1, r2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("∪o      : %d tuples; restores EMP exactly: %v\n", merged.Cardinality(), merged.Equal(emp))
+}
+
+func demoEMP() *core.Relation {
+	full := lifespan.Interval(0, 99)
+	s := schema.MustNew("EMP", []string{"NAME"},
+		schema.Attribute{Name: "NAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "SAL", Domain: value.Ints, Lifespan: full, Interp: "step"},
+		schema.Attribute{Name: "DEPT", Domain: value.Strings, Lifespan: full, Interp: "step"},
+	)
+	r := core.NewRelation(s)
+	r.MustInsert(core.NewTupleBuilder(s, lifespan.Interval(0, 9)).
+		Key("NAME", value.String_("John")).
+		Set("SAL", 0, 4, value.Int(30000)).
+		Set("SAL", 5, 9, value.Int(34000)).
+		Set("DEPT", 0, 9, value.String_("Toys")).
+		MustBuild())
+	r.MustInsert(core.NewTupleBuilder(s, lifespan.Interval(3, 19)).
+		Key("NAME", value.String_("Mary")).
+		Set("SAL", 3, 19, value.Int(40000)).
+		Set("DEPT", 3, 9, value.String_("Shoes")).
+		Set("DEPT", 10, 19, value.String_("Books")).
+		MustBuild())
+	r.MustInsert(core.NewTupleBuilder(s, lifespan.MustParse("{[0,3],[8,14]}")).
+		Key("NAME", value.String_("Ahmed")).
+		Set("SAL", 0, 3, value.Int(30000)).
+		Set("SAL", 8, 14, value.Int(31000)).
+		Set("DEPT", 0, 3, value.String_("Toys")).
+		Set("DEPT", 8, 14, value.String_("Books")).
+		MustBuild())
+	return r
+}
+
+func demoDEPT() *core.Relation {
+	full := lifespan.Interval(0, 99)
+	s := schema.MustNew("DEPTREL", []string{"DNAME"},
+		schema.Attribute{Name: "DNAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "FLOOR", Domain: value.Ints, Lifespan: full, Interp: "step"},
+	)
+	r := core.NewRelation(s)
+	for i, n := range []string{"Toys", "Shoes", "Books"} {
+		r.MustInsert(core.NewTupleBuilder(s, lifespan.Interval(0, 19)).
+			Key("DNAME", value.String_(n)).
+			Set("FLOOR", 0, 19, value.Int(int64(i+1))).
+			MustBuild())
+	}
+	return r
+}

@@ -1,0 +1,74 @@
+// Quickstart: build the paper's personnel history and run its signature
+// query — σ-WHEN(NAME=John ∧ SAL=30K)(emp), "a relation (in this case
+// with only 1 tuple, for key John) with a new lifespan, namely, just
+// those times when John earned 30K".
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func main() {
+	// 1. Declare the relation scheme R = <A, K, ALS, DOM>: attributes
+	//    with value domains and attribute lifespans, plus the key.
+	full := lifespan.Interval(0, 99)
+	emp := schema.MustNew("EMP", []string{"NAME"},
+		schema.Attribute{Name: "NAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "SAL", Domain: value.Ints, Lifespan: full, Interp: "step"},
+		schema.Attribute{Name: "DEPT", Domain: value.Strings, Lifespan: full, Interp: "step"},
+	)
+
+	// 2. Build historical tuples t = ⟨v, l⟩: a lifespan plus temporal
+	//    functions for each attribute. John works [0,9] and got a raise
+	//    at time 5.
+	r := core.NewRelation(emp)
+	r.MustInsert(core.NewTupleBuilder(emp, lifespan.Interval(0, 9)).
+		Key("NAME", value.String_("John")).
+		Set("SAL", 0, 4, value.Int(30000)).
+		Set("SAL", 5, 9, value.Int(34000)).
+		Set("DEPT", 0, 9, value.String_("Toys")).
+		MustBuild())
+	r.MustInsert(core.NewTupleBuilder(emp, lifespan.Interval(3, 19)).
+		Key("NAME", value.String_("Mary")).
+		Set("SAL", 3, 19, value.Int(40000)).
+		Set("DEPT", 3, 19, value.String_("Shoes")).
+		MustBuild())
+
+	fmt.Println("EMP relation:")
+	fmt.Println(r)
+
+	// 3. The paper's query: first restrict to John, then to the times he
+	//    earned 30000. SELECT-WHEN shrinks the lifespan to exactly the
+	//    matching chronons.
+	johns, err := core.SelectWhen(r,
+		core.Predicate{Attr: "NAME", Theta: value.EQ, Const: value.String_("John")},
+		lifespan.All())
+	if err != nil {
+		panic(err)
+	}
+	at30k, err := core.SelectWhen(johns,
+		core.Predicate{Attr: "SAL", Theta: value.EQ, Const: value.Int(30000)},
+		lifespan.All())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nσ-WHEN(NAME=John, SAL=30K):")
+	fmt.Println(at30k)
+
+	// 4. WHEN extracts the purely temporal answer — a lifespan, usable as
+	//    the parameter of TIME-SLICE.
+	when := core.When(at30k)
+	fmt.Println("\nWHEN did John earn 30K?", when)
+
+	sliced, err := core.TimesliceStatic(r, when)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nThe whole database during those times, T_Ω(r):")
+	fmt.Println(sliced)
+}

@@ -1,0 +1,117 @@
+// Stockmarket: the paper's Figure 6 domain — an evolving schema whose
+// DAILY-TRADING-VOLUME attribute was dropped and later re-added — plus
+// interpolation between sampled prices, dynamic TIME-SLICE, and
+// TIME-JOIN over a time-valued (TT) attribute.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/tfunc"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := workload.DefaultStock()
+	stock := workload.Stock(cfg)
+	s := stock.Scheme()
+
+	// Figure 6: the VOLUME attribute's lifespan has a gap where the data
+	// was too expensive to collect.
+	fmt.Println("STOCK scheme:", s)
+	fmt.Println("ALS(VOLUME) =", s.ALS("VOLUME"), "— the Figure 6 gap")
+
+	// Snapshots inside and outside the gap differ in schema: VOLUME
+	// disappears from the relation scheme mid-history.
+	mid := chronon.Time(float64(cfg.HistoryLen) * (cfg.VolumeGapLo + cfg.VolumeGapHi) / 2)
+	snapIn, err := core.Snapshot(stock, 5)
+	must(err)
+	snapGap, err := core.Snapshot(stock, mid)
+	must(err)
+	fmt.Printf("snapshot@5 attributes:  %v\n", snapIn.Scheme().Attrs)
+	fmt.Printf("snapshot@%d attributes: %v (VOLUME gone)\n\n", mid, snapGap.Scheme().Attrs)
+
+	// Interpolation: PRICE is stored as a step function at the
+	// representation level; the linear interpolator I produces the model-
+	// level total function (Figure 9).
+	tick := stock.Tuples()[0]
+	price := tick.Value("PRICE")
+	sparse := sampleEvery(price, 10)
+	full, err := (tfunc.Linear{}).Interpolate(sparse, tick.Lifespan())
+	must(err)
+	fmt.Printf("PRICE of %s: stored %d steps; sampled down to %d; I rebuilds a total function on %d chronons\n\n",
+		tick.KeyValue("TICKER"), price.NumSteps(), sparse.NumSteps(), full.Domain().Duration())
+
+	// Dynamic TIME-SLICE: restrict each stock to its own ex-dividend
+	// dates — the slicing lifespan comes from the tuple itself.
+	exdiv, err := core.TimesliceDynamic(stock, "EX_DIV")
+	must(err)
+	fmt.Printf("T@EX_DIV: %d stocks restricted to their ex-dividend dates; e.g. %s on %s\n\n",
+		exdiv.Cardinality(),
+		exdiv.Tuples()[0].KeyValue("TICKER"), exdiv.Tuples()[0].Lifespan())
+
+	// TIME-JOIN: pair each stock with the market-regime relation current
+	// at its ex-dividend dates.
+	regime := regimeRelation(cfg.HistoryLen)
+	joined, err := core.TimeJoin(stock, regime, "EX_DIV")
+	must(err)
+	fmt.Printf("STOCK [@EX_DIV] REGIME: %d (stock, regime) facts; e.g.:\n", joined.Cardinality())
+	for i, t := range joined.Tuples() {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %s went ex-dividend under the %s regime at %s\n",
+			t.KeyValue("TICKER"), t.KeyValue("ERA"), t.Lifespan())
+	}
+}
+
+// sampleEvery keeps one stored point per k chronons — simulating a
+// representation-level ellipsis that interpolation must fill.
+func sampleEvery(f tfunc.Func, k int) tfunc.Func {
+	var b tfunc.Builder
+	i := 0
+	f.Steps(func(iv chronon.Interval, v value.Value) bool {
+		if i%k == 0 {
+			b.SetAt(iv.Lo, v)
+		}
+		i++
+		return true
+	})
+	return b.Build()
+}
+
+// regimeRelation labels market eras: BULL then BEAR then BULL again.
+func regimeRelation(historyLen int) *core.Relation {
+	end := chronon.Time(historyLen - 1)
+	full := lifespan.Interval(0, end)
+	s := schema.MustNew("REGIME", []string{"ERA"},
+		schema.Attribute{Name: "ERA", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "RATE", Domain: value.Floats, Lifespan: full, Interp: "step"},
+	)
+	r := core.NewRelation(s)
+	third := end / 3
+	r.MustInsert(core.NewTupleBuilder(s, lifespan.Interval(0, third)).
+		Key("ERA", value.String_("bull-1")).
+		SetConst("RATE", value.Float(0.02)).
+		MustBuild())
+	r.MustInsert(core.NewTupleBuilder(s, lifespan.Interval(third+1, 2*third)).
+		Key("ERA", value.String_("bear")).
+		SetConst("RATE", value.Float(0.07)).
+		MustBuild())
+	r.MustInsert(core.NewTupleBuilder(s, lifespan.Interval(2*third+1, end)).
+		Key("ERA", value.String_("bull-2")).
+		SetConst("RATE", value.Float(0.03)).
+		MustBuild())
+	return r
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package chronon implements the time domain T of the Historical
+// Relational Data Model (HRDM).
+//
+// The paper defines T = {..., t0, t1, ...} as an at most countably
+// infinite set of times with a linear (total) order <_T, and states that
+// "the reader can assume that T is isomorphic to the natural numbers".
+// We therefore model a time point (a chronon) as an int64 and closed
+// intervals [t1,t2] as the set {t | t1 <= t <= t2}.
+package chronon
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Time is a single point of the time domain T. The order <_T is the
+// ordinary integer order: ti <_T tj iff i < j, exactly as the paper
+// assumes "for the sake of clarity".
+type Time int64
+
+// Distinguished time points.
+//
+// The paper's examples use a distinguished time "now" (Figure 6) and the
+// reduction argument of Section 5 sets T = {now}. Min and Max bound the
+// finite universe used by complement operations; they play the role of the
+// conceptual -infinity/+infinity of a countable T in a finite machine.
+const (
+	Min Time = -1 << 62
+	Max Time = 1<<62 - 1
+)
+
+// Now is the distinguished current time used by examples and by the
+// snapshot-reduction theorem of Section 5 (T = {now}). It is a variable so
+// tests can pin it.
+var Now Time = 0
+
+// Before reports t <_T u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports u <_T t.
+func (t Time) After(u Time) bool { return t > u }
+
+// Next returns the successor time point. T is isomorphic to the natural
+// numbers, so every point has a discrete successor.
+func (t Time) Next() Time {
+	if t == Max {
+		return Max
+	}
+	return t + 1
+}
+
+// Prev returns the predecessor time point.
+func (t Time) Prev() Time {
+	if t == Min {
+		return Min
+	}
+	return t - 1
+}
+
+// String renders the time point. Min and Max render as -inf / +inf for
+// readability in dumps of complemented lifespans.
+func (t Time) String() string {
+	switch t {
+	case Min:
+		return "-inf"
+	case Max:
+		return "+inf"
+	}
+	return strconv.FormatInt(int64(t), 10)
+}
+
+// ParseTime parses a time point as printed by Time.String.
+func ParseTime(s string) (Time, error) {
+	switch strings.TrimSpace(s) {
+	case "-inf":
+		return Min, nil
+	case "+inf", "inf":
+		return Max, nil
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("chronon: parse time %q: %w", s, err)
+	}
+	return Time(v), nil
+}
+
+// Interval is a closed interval [Lo,Hi] of T: the set {t | Lo <= t <= Hi}.
+// An interval with Lo > Hi is empty; the canonical empty interval is
+// returned by EmptyInterval.
+type Interval struct {
+	Lo, Hi Time
+}
+
+// EmptyInterval returns the canonical empty interval.
+func EmptyInterval() Interval { return Interval{Lo: 1, Hi: 0} }
+
+// NewInterval returns the closed interval [lo,hi]. If lo > hi the result
+// is the canonical empty interval.
+func NewInterval(lo, hi Time) Interval {
+	if lo > hi {
+		return EmptyInterval()
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Point returns the singleton interval [t,t].
+func Point(t Time) Interval { return Interval{Lo: t, Hi: t} }
+
+// IsEmpty reports whether the interval denotes the empty set.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// Contains reports whether t is a member of the interval.
+func (iv Interval) Contains(t Time) bool { return iv.Lo <= t && t <= iv.Hi }
+
+// Duration returns the number of chronons in the interval. The count
+// saturates at the maximum int64 for intervals touching Min/Max.
+func (iv Interval) Duration() int64 {
+	if iv.IsEmpty() {
+		return 0
+	}
+	d := uint64(iv.Hi) - uint64(iv.Lo) + 1
+	if int64(d) < 0 {
+		return 1<<63 - 1
+	}
+	return int64(d)
+}
+
+// Intersect returns the interval intersection iv ∩ ov.
+func (iv Interval) Intersect(ov Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if ov.Lo > lo {
+		lo = ov.Lo
+	}
+	if ov.Hi < hi {
+		hi = ov.Hi
+	}
+	return NewInterval(lo, hi)
+}
+
+// Overlaps reports whether the two intervals share at least one chronon.
+func (iv Interval) Overlaps(ov Interval) bool {
+	return !iv.Intersect(ov).IsEmpty()
+}
+
+// Adjacent reports whether the two intervals are disjoint but abut, so
+// that their union is a single interval (e.g. [1,3] and [4,7]).
+func (iv Interval) Adjacent(ov Interval) bool {
+	if iv.IsEmpty() || ov.IsEmpty() {
+		return false
+	}
+	return (iv.Hi != Max && iv.Hi.Next() == ov.Lo) ||
+		(ov.Hi != Max && ov.Hi.Next() == iv.Lo)
+}
+
+// Equal reports set equality of the two intervals.
+func (iv Interval) Equal(ov Interval) bool {
+	if iv.IsEmpty() || ov.IsEmpty() {
+		return iv.IsEmpty() && ov.IsEmpty()
+	}
+	return iv.Lo == ov.Lo && iv.Hi == ov.Hi
+}
+
+// String renders the interval in the paper's closed-interval notation
+// [lo,hi]; singletons render as the bare time point.
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "[]"
+	}
+	if iv.Lo == iv.Hi {
+		return iv.Lo.String()
+	}
+	return fmt.Sprintf("[%s,%s]", iv.Lo, iv.Hi)
+}
+
+// ParseInterval parses "[lo,hi]", "[lo..hi]" or a bare point "t".
+func ParseInterval(s string) (Interval, error) {
+	s = strings.TrimSpace(s)
+	if s == "[]" {
+		return EmptyInterval(), nil
+	}
+	if !strings.HasPrefix(s, "[") {
+		t, err := ParseTime(s)
+		if err != nil {
+			return Interval{}, err
+		}
+		return Point(t), nil
+	}
+	if !strings.HasSuffix(s, "]") {
+		return Interval{}, fmt.Errorf("chronon: parse interval %q: missing ']'", s)
+	}
+	body := s[1 : len(s)-1]
+	var parts []string
+	switch {
+	case strings.Contains(body, ".."):
+		parts = strings.SplitN(body, "..", 2)
+	case strings.Contains(body, ","):
+		parts = strings.SplitN(body, ",", 2)
+	default:
+		return Interval{}, fmt.Errorf("chronon: parse interval %q: want [lo,hi]", s)
+	}
+	lo, err := ParseTime(parts[0])
+	if err != nil {
+		return Interval{}, err
+	}
+	hi, err := ParseTime(parts[1])
+	if err != nil {
+		return Interval{}, err
+	}
+	if lo > hi {
+		return Interval{}, fmt.Errorf("chronon: parse interval %q: lo > hi", s)
+	}
+	return NewInterval(lo, hi), nil
+}

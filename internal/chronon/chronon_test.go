@@ -1,0 +1,199 @@
+package chronon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeOrder(t *testing.T) {
+	if !Time(1).Before(2) {
+		t.Error("1 should be before 2")
+	}
+	if Time(2).Before(1) {
+		t.Error("2 should not be before 1")
+	}
+	if !Time(5).After(3) {
+		t.Error("5 should be after 3")
+	}
+	if Time(3).Before(3) || Time(3).After(3) {
+		t.Error("a time is neither before nor after itself")
+	}
+}
+
+func TestNextPrev(t *testing.T) {
+	if Time(4).Next() != 5 {
+		t.Errorf("Next(4) = %v", Time(4).Next())
+	}
+	if Time(4).Prev() != 3 {
+		t.Errorf("Prev(4) = %v", Time(4).Prev())
+	}
+	if Max.Next() != Max {
+		t.Error("Next saturates at Max")
+	}
+	if Min.Prev() != Min {
+		t.Error("Prev saturates at Min")
+	}
+}
+
+func TestTimeStringParse(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0"}, {42, "42"}, {-7, "-7"}, {Min, "-inf"}, {Max, "+inf"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.in), got, c.want)
+		}
+		back, err := ParseTime(c.want)
+		if err != nil {
+			t.Fatalf("ParseTime(%q): %v", c.want, err)
+		}
+		if back != c.in {
+			t.Errorf("ParseTime(%q) = %v, want %v", c.want, back, c.in)
+		}
+	}
+	if _, err := ParseTime("xyz"); err == nil {
+		t.Error("ParseTime should reject garbage")
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := NewInterval(3, 7)
+	if iv.IsEmpty() {
+		t.Fatal("[3,7] is not empty")
+	}
+	if iv.Duration() != 5 {
+		t.Errorf("Duration([3,7]) = %d, want 5", iv.Duration())
+	}
+	for _, in := range []Time{3, 4, 5, 6, 7} {
+		if !iv.Contains(in) {
+			t.Errorf("[3,7] should contain %v", in)
+		}
+	}
+	for _, out := range []Time{2, 8, -1, 100} {
+		if iv.Contains(out) {
+			t.Errorf("[3,7] should not contain %v", out)
+		}
+	}
+	if !NewInterval(5, 2).IsEmpty() {
+		t.Error("inverted bounds give the empty interval")
+	}
+	if EmptyInterval().Duration() != 0 {
+		t.Error("empty interval has zero duration")
+	}
+	if !Point(9).Equal(NewInterval(9, 9)) {
+		t.Error("Point(9) == [9,9]")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want Interval
+	}{
+		{NewInterval(1, 5), NewInterval(3, 9), NewInterval(3, 5)},
+		{NewInterval(1, 5), NewInterval(5, 9), Point(5)},
+		{NewInterval(1, 5), NewInterval(6, 9), EmptyInterval()},
+		{NewInterval(1, 9), NewInterval(3, 4), NewInterval(3, 4)},
+		{EmptyInterval(), NewInterval(3, 4), EmptyInterval()},
+	}
+	for _, c := range cases {
+		if got := c.a.Intersect(c.b); !got.Equal(c.want) {
+			t.Errorf("%v ∩ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Intersect(c.a); !got.Equal(c.want) {
+			t.Errorf("intersection must commute: %v ∩ %v = %v, want %v", c.b, c.a, got, c.want)
+		}
+		if c.a.Overlaps(c.b) != !c.want.IsEmpty() {
+			t.Errorf("Overlaps(%v,%v) inconsistent with intersection", c.a, c.b)
+		}
+	}
+}
+
+func TestIntervalAdjacent(t *testing.T) {
+	if !NewInterval(1, 3).Adjacent(NewInterval(4, 7)) {
+		t.Error("[1,3] adjacent [4,7]")
+	}
+	if !NewInterval(4, 7).Adjacent(NewInterval(1, 3)) {
+		t.Error("adjacency is symmetric")
+	}
+	if NewInterval(1, 3).Adjacent(NewInterval(5, 7)) {
+		t.Error("[1,3] not adjacent [5,7]")
+	}
+	if NewInterval(1, 3).Adjacent(NewInterval(3, 7)) {
+		t.Error("overlapping intervals are not adjacent")
+	}
+	if EmptyInterval().Adjacent(NewInterval(1, 2)) {
+		t.Error("empty interval is adjacent to nothing")
+	}
+}
+
+func TestIntervalStringParse(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want string
+	}{
+		{NewInterval(1, 5), "[1,5]"},
+		{Point(7), "7"},
+		{EmptyInterval(), "[]"},
+		{NewInterval(Min, 3), "[-inf,3]"},
+		{NewInterval(3, Max), "[3,+inf]"},
+	}
+	for _, c := range cases {
+		if got := c.iv.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.iv, got, c.want)
+		}
+		back, err := ParseInterval(c.want)
+		if err != nil {
+			t.Fatalf("ParseInterval(%q): %v", c.want, err)
+		}
+		if !back.Equal(c.iv) {
+			t.Errorf("ParseInterval(%q) = %v, want %v", c.want, back, c.iv)
+		}
+	}
+	// The two-dot form is accepted as well.
+	iv, err := ParseInterval("[2..9]")
+	if err != nil || !iv.Equal(NewInterval(2, 9)) {
+		t.Errorf("ParseInterval([2..9]) = %v, %v", iv, err)
+	}
+	for _, bad := range []string{"[1,", "[a,b]", "[5]", "[9,2]"} {
+		if _, err := ParseInterval(bad); err == nil {
+			t.Errorf("ParseInterval(%q) should fail", bad)
+		}
+	}
+}
+
+func TestIntersectProperties(t *testing.T) {
+	// Intersection is commutative, associative, and idempotent for any
+	// (possibly empty) operands.
+	mk := func(a, b int16) Interval { return NewInterval(Time(a), Time(b)) }
+	comm := func(a1, a2, b1, b2 int16) bool {
+		x, y := mk(a1, a2), mk(b1, b2)
+		return x.Intersect(y).Equal(y.Intersect(x))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	assoc := func(a1, a2, b1, b2, c1, c2 int16) bool {
+		x, y, z := mk(a1, a2), mk(b1, b2), mk(c1, c2)
+		return x.Intersect(y).Intersect(z).Equal(x.Intersect(y.Intersect(z)))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error(err)
+	}
+	idem := func(a1, a2 int16) bool {
+		x := mk(a1, a2)
+		return x.Intersect(x).Equal(x)
+	}
+	if err := quick.Check(idem, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationSaturates(t *testing.T) {
+	full := NewInterval(Min, Max)
+	if full.Duration() != 1<<63-1 {
+		t.Errorf("full-universe duration should saturate, got %d", full.Duration())
+	}
+}

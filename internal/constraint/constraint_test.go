@@ -1,0 +1,176 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func ls(s string) lifespan.Lifespan { return lifespan.MustParse(s) }
+
+func empScheme() *schema.Scheme {
+	full := ls("{[0,99]}")
+	return schema.MustNew("EMP", []string{"NAME"},
+		schema.Attribute{Name: "NAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "SAL", Domain: value.Ints, Lifespan: full, Interp: "step"},
+		schema.Attribute{Name: "DEPT", Domain: value.Strings, Lifespan: full, Interp: "step"},
+		schema.Attribute{Name: "FLOOR", Domain: value.Ints, Lifespan: full, Interp: "step"},
+	)
+}
+
+func TestCheckKeyClean(t *testing.T) {
+	s := empScheme()
+	r := core.NewRelation(s)
+	r.MustInsert(core.NewTupleBuilder(s, ls("{[0,4]}")).
+		Key("NAME", value.String_("A")).
+		Set("SAL", 0, 4, value.Int(1)).MustBuild())
+	if v := CheckKey(r); len(v) != 0 {
+		t.Errorf("clean relation reported violations: %v", v)
+	}
+}
+
+func TestIntraStateFD(t *testing.T) {
+	// DEPT → FLOOR at each time point: two employees in the same
+	// department at the same time must be on the same floor.
+	s := empScheme()
+	good := core.NewRelation(s)
+	good.MustInsert(core.NewTupleBuilder(s, ls("{[0,9]}")).
+		Key("NAME", value.String_("A")).
+		Set("DEPT", 0, 9, value.String_("Toys")).
+		Set("FLOOR", 0, 4, value.Int(1)).
+		Set("FLOOR", 5, 9, value.Int(2)). // floor moves over time — fine intra-state
+		MustBuild())
+	good.MustInsert(core.NewTupleBuilder(s, ls("{[0,9]}")).
+		Key("NAME", value.String_("B")).
+		Set("DEPT", 0, 9, value.String_("Toys")).
+		Set("FLOOR", 0, 4, value.Int(1)).
+		Set("FLOOR", 5, 9, value.Int(2)).
+		MustBuild())
+	if v := CheckIntraStateFD(good, FD{X: []string{"DEPT"}, Y: []string{"FLOOR"}}); len(v) != 0 {
+		t.Errorf("consistent relation reported: %v", v)
+	}
+	// Now B disagrees at time 7.
+	bad := core.NewRelation(s)
+	bad.MustInsert(good.Tuples()[0])
+	bad.MustInsert(core.NewTupleBuilder(s, ls("{[0,9]}")).
+		Key("NAME", value.String_("B")).
+		Set("DEPT", 0, 9, value.String_("Toys")).
+		Set("FLOOR", 0, 9, value.Int(1)). // stays on 1 while A moved to 2
+		MustBuild())
+	v := CheckIntraStateFD(bad, FD{X: []string{"DEPT"}, Y: []string{"FLOOR"}})
+	if len(v) == 0 {
+		t.Fatal("violation not detected")
+	}
+	if !strings.Contains(v[0].String(), "fd DEPT -> FLOOR") {
+		t.Errorf("violation text: %v", v[0])
+	}
+}
+
+func TestTransStateFD(t *testing.T) {
+	// The intra-state-legal "floor moves over time" violates the
+	// trans-state reading of DEPT → FLOOR.
+	s := empScheme()
+	r := core.NewRelation(s)
+	r.MustInsert(core.NewTupleBuilder(s, ls("{[0,9]}")).
+		Key("NAME", value.String_("A")).
+		Set("DEPT", 0, 9, value.String_("Toys")).
+		Set("FLOOR", 0, 4, value.Int(1)).
+		Set("FLOOR", 5, 9, value.Int(2)).
+		MustBuild())
+	if v := CheckIntraStateFD(r, FD{X: []string{"DEPT"}, Y: []string{"FLOOR"}}); len(v) != 0 {
+		t.Errorf("intra-state should pass: %v", v)
+	}
+	if v := CheckTransStateFD(r, FD{X: []string{"DEPT"}, Y: []string{"FLOOR"}}); len(v) == 0 {
+		t.Error("trans-state must fail when the floor moves")
+	}
+	// A truly constant mapping passes both.
+	r2 := core.NewRelation(s)
+	r2.MustInsert(core.NewTupleBuilder(s, ls("{[0,9]}")).
+		Key("NAME", value.String_("A")).
+		Set("DEPT", 0, 9, value.String_("Toys")).
+		Set("FLOOR", 0, 9, value.Int(1)).
+		MustBuild())
+	if v := CheckTransStateFD(r2, FD{X: []string{"DEPT"}, Y: []string{"FLOOR"}}); len(v) != 0 {
+		t.Errorf("constant mapping should pass trans-state: %v", v)
+	}
+}
+
+func TestMonotoneSalary(t *testing.T) {
+	s := empScheme()
+	ok := core.NewRelation(s)
+	ok.MustInsert(core.NewTupleBuilder(s, ls("{[0,9]}")).
+		Key("NAME", value.String_("A")).
+		Set("SAL", 0, 4, value.Int(100)).
+		Set("SAL", 5, 9, value.Int(150)).
+		MustBuild())
+	if v := CheckMonotone(ok, "SAL", NonDecreasing); len(v) != 0 {
+		t.Errorf("raising salary should pass: %v", v)
+	}
+	if v := CheckMonotone(ok, "SAL", NonIncreasing); len(v) == 0 {
+		t.Error("raising salary violates non-increasing")
+	}
+	// A re-hire at lower pay violates the non-decreasing constraint even
+	// across the lifespan gap.
+	rehire := core.NewRelation(s)
+	rehire.MustInsert(core.NewTupleBuilder(s, ls("{[0,3],[8,12]}")).
+		Key("NAME", value.String_("B")).
+		Set("SAL", 0, 3, value.Int(200)).
+		Set("SAL", 8, 12, value.Int(150)).
+		MustBuild())
+	v := CheckMonotone(rehire, "SAL", NonDecreasing)
+	if len(v) != 1 {
+		t.Fatalf("expected exactly one violation, got %v", v)
+	}
+	if !strings.Contains(v[0].Detail, "regresses") {
+		t.Errorf("violation text: %v", v[0])
+	}
+}
+
+func TestRefIntegrity(t *testing.T) {
+	students, courses, enrolls := workload.Enrollment(workload.DefaultEnrollment())
+	ri := RefIntegrity{ChildAttrs: []string{"SNAME"}, ParentKey: []string{"SNAME"}}
+	if v := CheckRefIntegrity(enrolls, students, ri); len(v) != 0 {
+		t.Errorf("generated enrollments must satisfy student integrity: %v", v[0])
+	}
+	ric := RefIntegrity{ChildAttrs: []string{"CNAME"}, ParentKey: []string{"CNAME"}}
+	if v := CheckRefIntegrity(enrolls, courses, ric); len(v) != 0 {
+		t.Errorf("generated enrollments must satisfy course integrity: %v", v[0])
+	}
+}
+
+func TestRefIntegrityViolations(t *testing.T) {
+	full := ls("{[0,99]}")
+	ss := schema.MustNew("STUDENT", []string{"SNAME"},
+		schema.Attribute{Name: "SNAME", Domain: value.Strings, Lifespan: full})
+	es := schema.MustNew("ENROLL", []string{"SNAME", "CNAME"},
+		schema.Attribute{Name: "SNAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "CNAME", Domain: value.Strings, Lifespan: full})
+	students := core.NewRelation(ss)
+	students.MustInsert(core.NewTupleBuilder(ss, ls("{[0,9]}")).
+		Key("SNAME", value.String_("ann")).MustBuild())
+	ri := RefIntegrity{ChildAttrs: []string{"SNAME"}, ParentKey: []string{"SNAME"}}
+
+	// Missing parent.
+	e1 := core.NewRelation(es)
+	e1.MustInsert(core.NewTupleBuilder(es, ls("{[0,5]}")).
+		Key("SNAME", value.String_("bob")).Key("CNAME", value.String_("db")).MustBuild())
+	if v := CheckRefIntegrity(e1, students, ri); len(v) != 1 || !strings.Contains(v[0].Detail, "missing parent") {
+		t.Errorf("missing parent not reported: %v", v)
+	}
+	// Lifespan escape: enrollment outlives the student.
+	e2 := core.NewRelation(es)
+	e2.MustInsert(core.NewTupleBuilder(es, ls("{[5,20]}")).
+		Key("SNAME", value.String_("ann")).Key("CNAME", value.String_("db")).MustBuild())
+	if v := CheckRefIntegrity(e2, students, ri); len(v) != 1 || !strings.Contains(v[0].Detail, "alive on") {
+		t.Errorf("lifespan escape not reported: %v", v)
+	}
+	// Arity mismatch.
+	if v := CheckRefIntegrity(e2, students, RefIntegrity{ChildAttrs: []string{"A", "B"}, ParentKey: []string{"X"}}); len(v) != 1 {
+		t.Error("arity mismatch not reported")
+	}
+}

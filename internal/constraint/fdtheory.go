@@ -1,0 +1,245 @@
+package constraint
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// This file implements the dependency-theory machinery HRDM's Section 5
+// points at ("the theory of normalization which has been developed for
+// the traditional model ... can be expected to have a significant impact
+// on design methodologies for historical databases"): attribute-set
+// closure under a set of temporal FDs, implication testing, candidate-key
+// enumeration, BCNF analysis, and FD mining from a historical instance
+// under both the intra-state and trans-state readings.
+
+// Closure computes the attribute closure X⁺ under fds: the largest set of
+// attributes functionally determined by X. The classical algorithm
+// applies unchanged — temporal FDs obey Armstrong's axioms under both
+// readings, since each reading is an ordinary FD over a (per-instant or
+// global) flattened relation.
+func Closure(x []string, fds []FD) []string {
+	closed := make(map[string]bool, len(x))
+	for _, a := range x {
+		closed[a] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fds {
+			all := true
+			for _, a := range fd.X {
+				if !closed[a] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			for _, a := range fd.Y {
+				if !closed[a] {
+					closed[a] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(closed))
+	for a := range closed {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Implies reports whether fds logically imply the dependency fd.
+func Implies(fds []FD, fd FD) bool {
+	cl := Closure(fd.X, fds)
+	in := make(map[string]bool, len(cl))
+	for _, a := range cl {
+		in[a] = true
+	}
+	for _, a := range fd.Y {
+		if !in[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// CandidateKeys enumerates the minimal attribute sets whose closure under
+// fds covers all of attrs. Exponential in |attrs|; intended for the
+// schema sizes of database design (≤ ~20 attributes).
+func CandidateKeys(attrs []string, fds []FD) [][]string {
+	n := len(attrs)
+	var keys [][]string
+	isSuperkey := func(mask int) bool {
+		var x []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				x = append(x, attrs[i])
+			}
+		}
+		return len(Closure(x, fds)) >= n && covers(Closure(x, fds), attrs)
+	}
+	// Enumerate masks in order of popcount so minimality is a subset test
+	// against already-found keys.
+	masks := make([]int, 0, 1<<n)
+	for m := 1; m < 1<<n; m++ {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool { return popcount(masks[i]) < popcount(masks[j]) })
+	var keyMasks []int
+	for _, m := range masks {
+		minimal := true
+		for _, km := range keyMasks {
+			if km&m == km {
+				minimal = false
+				break
+			}
+		}
+		if !minimal {
+			continue
+		}
+		if isSuperkey(m) {
+			keyMasks = append(keyMasks, m)
+			var k []string
+			for i := 0; i < n; i++ {
+				if m&(1<<i) != 0 {
+					k = append(k, attrs[i])
+				}
+			}
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func covers(have, want []string) bool {
+	in := make(map[string]bool, len(have))
+	for _, a := range have {
+		in[a] = true
+	}
+	for _, a := range want {
+		if !in[a] {
+			return false
+		}
+	}
+	return true
+}
+
+func popcount(m int) int {
+	c := 0
+	for ; m != 0; m &= m - 1 {
+		c++
+	}
+	return c
+}
+
+// BCNFViolations returns the FDs in fds that violate BCNF over attrs:
+// non-trivial dependencies whose left side is not a superkey. For
+// historical schemes this is the per-reading analysis; a scheme in BCNF
+// under the trans-state reading is also in BCNF under the intra-state
+// one, but not conversely.
+func BCNFViolations(attrs []string, fds []FD) []FD {
+	var out []FD
+	for _, fd := range fds {
+		if trivial(fd) {
+			continue
+		}
+		cl := Closure(fd.X, fds)
+		if !covers(cl, attrs) {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+func trivial(fd FD) bool {
+	in := make(map[string]bool, len(fd.X))
+	for _, a := range fd.X {
+		in[a] = true
+	}
+	for _, a := range fd.Y {
+		if !in[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// FDReading selects the temporal interpretation under which an FD is
+// evaluated against an instance.
+type FDReading uint8
+
+const (
+	// IntraState: X → Y must hold within each time point separately.
+	IntraState FDReading = iota
+	// TransState: one X-value maps to one Y-value across all time points.
+	TransState
+)
+
+// MineFDs discovers all single-attribute-right FDs X → A (|X| ≤ maxLHS)
+// that hold in the given historical relation under the chosen reading.
+// Mining is instance-based: a discovered FD is a property of this
+// history, not a guaranteed constraint. Useful for schema analysis and
+// for seeding CandidateKeys/BCNFViolations.
+func MineFDs(r *core.Relation, maxLHS int, reading FDReading) []FD {
+	attrs := r.Scheme().AttrNames()
+	var out []FD
+	var lhsSets [][]string
+	subsets(attrs, maxLHS, nil, 0, &lhsSets)
+	for _, x := range lhsSets {
+		inX := make(map[string]bool, len(x))
+		for _, a := range x {
+			inX[a] = true
+		}
+		for _, a := range attrs {
+			if inX[a] {
+				continue
+			}
+			fd := FD{X: x, Y: []string{a}}
+			if holdsOn(r, fd, reading) {
+				// Skip non-minimal discoveries implied by what we have.
+				if !Implies(out, fd) {
+					out = append(out, fd)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func subsets(attrs []string, maxLen int, cur []string, start int, out *[][]string) {
+	if len(cur) > 0 {
+		*out = append(*out, append([]string(nil), cur...))
+	}
+	if len(cur) == maxLen {
+		return
+	}
+	for i := start; i < len(attrs); i++ {
+		subsets(attrs, maxLen, append(cur, attrs[i]), i+1, out)
+	}
+}
+
+func holdsOn(r *core.Relation, fd FD, reading FDReading) bool {
+	switch reading {
+	case IntraState:
+		return len(CheckIntraStateFD(r, fd)) == 0
+	default:
+		return len(CheckTransStateFD(r, fd)) == 0
+	}
+}
+
+// FDString renders a set of FDs compactly for diagnostics, one per line,
+// in deterministic order.
+func FDString(fds []FD) string {
+	lines := make([]string, len(fds))
+	for i, fd := range fds {
+		lines[i] = fd.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,220 @@
+package constraint
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+func fd(x, y string) FD {
+	return FD{X: split(x), Y: split(y)}
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	cur := ""
+	for _, c := range s {
+		if c == ',' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(c)
+	}
+	return append(out, cur)
+}
+
+func TestClosure(t *testing.T) {
+	fds := []FD{fd("A", "B"), fd("B", "C"), fd("C,D", "E")}
+	cases := []struct {
+		x    string
+		want string
+	}{
+		{"A", "A,B,C"},
+		{"B", "B,C"},
+		{"D", "D"},
+		{"A,D", "A,B,C,D,E"},
+		{"E", "E"},
+	}
+	for _, c := range cases {
+		got := Closure(split(c.x), fds)
+		want := split(c.want)
+		sort.Strings(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Closure(%s) = %v, want %v", c.x, got, want)
+		}
+	}
+}
+
+func TestImplies(t *testing.T) {
+	fds := []FD{fd("A", "B"), fd("B", "C")}
+	if !Implies(fds, fd("A", "C")) {
+		t.Error("transitivity must be implied")
+	}
+	if !Implies(fds, fd("A,C", "B")) {
+		t.Error("augmented LHS must be implied")
+	}
+	if Implies(fds, fd("C", "A")) {
+		t.Error("reverse must not be implied")
+	}
+	if !Implies(nil, fd("A", "A")) {
+		t.Error("reflexivity holds under no FDs")
+	}
+}
+
+func TestCandidateKeys(t *testing.T) {
+	attrs := split("A,B,C,D")
+	fds := []FD{fd("A", "B"), fd("B", "C")}
+	keys := CandidateKeys(attrs, fds)
+	// Only {A,D} is a candidate key: closure(A,D) = all; nothing smaller
+	// reaches D or A.
+	if len(keys) != 1 || !reflect.DeepEqual(keys[0], split("A,D")) {
+		t.Errorf("keys = %v, want [[A D]]", keys)
+	}
+	// Cyclic FDs produce multiple candidate keys.
+	keys2 := CandidateKeys(split("A,B"), []FD{fd("A", "B"), fd("B", "A")})
+	if len(keys2) != 2 {
+		t.Errorf("cyclic keys = %v, want two singleton keys", keys2)
+	}
+	// No FDs: the only key is all attributes.
+	keys3 := CandidateKeys(split("A,B"), nil)
+	if len(keys3) != 1 || len(keys3[0]) != 2 {
+		t.Errorf("no-FD keys = %v", keys3)
+	}
+}
+
+func TestBCNFViolations(t *testing.T) {
+	attrs := split("A,B,C")
+	// A → B with key A,C: A is not a superkey → violation.
+	fds := []FD{fd("A", "B")}
+	v := BCNFViolations(attrs, fds)
+	if len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	// A → B,C makes A a superkey → BCNF.
+	fds2 := []FD{fd("A", "B,C")}
+	if v := BCNFViolations(attrs, fds2); len(v) != 0 {
+		t.Errorf("superkey LHS reported: %v", v)
+	}
+	// Trivial FDs never violate.
+	if v := BCNFViolations(attrs, []FD{fd("A,B", "A")}); len(v) != 0 {
+		t.Errorf("trivial FD reported: %v", v)
+	}
+}
+
+func TestClosureProperties(t *testing.T) {
+	// Closure is extensive, monotone and idempotent (a closure operator).
+	attrs := []string{"A", "B", "C", "D", "E"}
+	genFDs := func(seed int64) []FD {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6)
+		fds := make([]FD, 0, n)
+		for i := 0; i < n; i++ {
+			x := attrs[rng.Intn(len(attrs))]
+			y := attrs[rng.Intn(len(attrs))]
+			fds = append(fds, fd(x, y))
+		}
+		return fds
+	}
+	genX := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed ^ 0xabc))
+		var x []string
+		for _, a := range attrs {
+			if rng.Intn(2) == 0 {
+				x = append(x, a)
+			}
+		}
+		return x
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(s1, s2 int64) bool {
+		fds := genFDs(s1)
+		x := genX(s2)
+		cl := Closure(x, fds)
+		// extensive
+		if !covers(cl, x) {
+			return false
+		}
+		// idempotent
+		cl2 := Closure(cl, fds)
+		return reflect.DeepEqual(cl, cl2)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineFDs(t *testing.T) {
+	// Build a history where DEPT → FLOOR holds trans-state and NAME is
+	// the key.
+	s := empScheme()
+	r := core.NewRelation(s)
+	type row struct {
+		name, dept string
+		sal        int64
+		floor      int64
+	}
+	rows := []row{
+		{"A", "Toys", 100, 1},
+		{"B", "Toys", 200, 1},
+		{"C", "Shoes", 100, 2},
+	}
+	for _, rw := range rows {
+		r.MustInsert(core.NewTupleBuilder(s, ls("{[0,9]}")).
+			Key("NAME", value.String_(rw.name)).
+			Set("DEPT", 0, 9, value.String_(rw.dept)).
+			Set("SAL", 0, 9, value.Int(rw.sal)).
+			Set("FLOOR", 0, 9, value.Int(rw.floor)).
+			MustBuild())
+	}
+	mined := MineFDs(r, 1, TransState)
+	if !Implies(mined, fd("DEPT", "FLOOR")) {
+		t.Errorf("DEPT→FLOOR should be mined; got:\n%s", FDString(mined))
+	}
+	if !Implies(mined, fd("NAME", "SAL")) {
+		t.Errorf("key FDs should be mined; got:\n%s", FDString(mined))
+	}
+	if Implies(mined, fd("SAL", "NAME")) {
+		t.Errorf("SAL does not determine NAME (A and C share 100):\n%s", FDString(mined))
+	}
+	// Candidate keys from mined FDs recover NAME.
+	keys := CandidateKeys(s.AttrNames(), mined)
+	foundName := false
+	for _, k := range keys {
+		if len(k) == 1 && k[0] == "NAME" {
+			foundName = true
+		}
+	}
+	if !foundName {
+		t.Errorf("NAME should be a candidate key; got %v", keys)
+	}
+}
+
+func TestMineFDsReadingsDiffer(t *testing.T) {
+	// A floor that moves over time: DEPT → FLOOR holds intra-state but
+	// not trans-state.
+	s := empScheme()
+	r := core.NewRelation(s)
+	r.MustInsert(core.NewTupleBuilder(s, ls("{[0,9]}")).
+		Key("NAME", value.String_("A")).
+		Set("DEPT", 0, 9, value.String_("Toys")).
+		Set("SAL", 0, 9, value.Int(1)).
+		Set("FLOOR", 0, 4, value.Int(1)).
+		Set("FLOOR", 5, 9, value.Int(2)).
+		MustBuild())
+	intra := MineFDs(r, 1, IntraState)
+	trans := MineFDs(r, 1, TransState)
+	if !Implies(intra, fd("DEPT", "FLOOR")) {
+		t.Error("intra-state reading should accept the moving floor")
+	}
+	if Implies(trans, fd("DEPT", "FLOOR")) {
+		t.Error("trans-state reading must reject the moving floor")
+	}
+}

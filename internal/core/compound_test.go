@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lifespan"
+	"repro/internal/value"
+)
+
+func atom(attr string, th value.Theta, v value.Value) Condition {
+	return Atom{Pred: Predicate{Attr: attr, Theta: th, Const: v}}
+}
+
+func TestSelectWhenCondAnd(t *testing.T) {
+	emp := empRelation(t)
+	// The paper's conjunction, now in one operator:
+	// σ-WHEN(NAME=John ∧ SAL=30K).
+	c := And{Kids: []Condition{
+		atom("NAME", value.EQ, value.String_("John")),
+		atom("SAL", value.EQ, value.Int(30000)),
+	}}
+	got, err := SelectWhenCond(emp, c, lifespan.All())
+	mustHold(t, err)
+	tp := singleTuple(t, got)
+	if !tp.Lifespan().Equal(ls("{[0,4]}")) {
+		t.Errorf("lifespan = %v", tp.Lifespan())
+	}
+	// Conjunction equals composition for σ-WHEN.
+	j1, err := SelectWhen(emp, Predicate{Attr: "NAME", Theta: value.EQ, Const: value.String_("John")}, lifespan.All())
+	mustHold(t, err)
+	j2, err := SelectWhen(j1, Predicate{Attr: "SAL", Theta: value.EQ, Const: value.Int(30000)}, lifespan.All())
+	mustHold(t, err)
+	if !got.Equal(j2) {
+		t.Error("AND must equal σ-WHEN composition")
+	}
+}
+
+func TestSelectWhenCondOr(t *testing.T) {
+	emp := empRelation(t)
+	// SAL=30000 ∨ DEPT=Books: John matches early (salary), Ahmed both
+	// phases (salary early, Books late), Mary only once in Books.
+	c := Or{Kids: []Condition{
+		atom("SAL", value.EQ, value.Int(30000)),
+		atom("DEPT", value.EQ, value.String_("Books")),
+	}}
+	got, err := SelectWhenCond(emp, c, lifespan.All())
+	mustHold(t, err)
+	if got.Cardinality() != 3 {
+		t.Fatalf("cardinality = %d\n%s", got.Cardinality(), got)
+	}
+	ahmed, _ := got.Lookup(`"Ahmed"`)
+	if !ahmed.Lifespan().Equal(ls("{[0,3],[8,14]}")) {
+		t.Errorf("Ahmed OR lifespan = %v", ahmed.Lifespan())
+	}
+	mary, _ := got.Lookup(`"Mary"`)
+	if !mary.Lifespan().Equal(ls("{[10,19]}")) {
+		t.Errorf("Mary OR lifespan = %v", mary.Lifespan())
+	}
+}
+
+func TestSelectWhenCondNot(t *testing.T) {
+	emp := empRelation(t)
+	// NOT(SAL=30000): the complement within each tuple's lifespan.
+	c := Not{Kid: atom("SAL", value.EQ, value.Int(30000))}
+	got, err := SelectWhenCond(emp, c, lifespan.All())
+	mustHold(t, err)
+	john, _ := got.Lookup(`"John"`)
+	if !john.Lifespan().Equal(ls("{[5,9]}")) {
+		t.Errorf("John NOT lifespan = %v", john.Lifespan())
+	}
+	// Ahmed earns 30000 on [0,3] and 31000 on [8,14] → NOT keeps [8,14].
+	ahmed, _ := got.Lookup(`"Ahmed"`)
+	if !ahmed.Lifespan().Equal(ls("{[8,14]}")) {
+		t.Errorf("Ahmed NOT lifespan = %v", ahmed.Lifespan())
+	}
+	// Double negation restores the original within the scope.
+	nn := Not{Kid: Not{Kid: atom("SAL", value.EQ, value.Int(30000))}}
+	back, err := SelectWhenCond(emp, nn, lifespan.All())
+	mustHold(t, err)
+	direct, err := SelectWhen(emp, Predicate{Attr: "SAL", Theta: value.EQ, Const: value.Int(30000)}, lifespan.All())
+	mustHold(t, err)
+	if !back.Equal(direct) {
+		t.Error("¬¬p must equal p under σ-WHEN")
+	}
+}
+
+func TestSelectIfCondExistsVsComposition(t *testing.T) {
+	// ∃s (p1 ∧ p2) is strictly stronger than (∃s p1) ∧ (∃s p2): John
+	// earns 30000 AND works in Toys simultaneously; Ahmed earns 31000 and
+	// is in Books simultaneously; but "earns 30000" and "works in Books"
+	// never hold at the same time for Ahmed.
+	emp := empRelation(t)
+	c := And{Kids: []Condition{
+		atom("SAL", value.EQ, value.Int(30000)),
+		atom("DEPT", value.EQ, value.String_("Books")),
+	}}
+	joint, err := SelectIfCond(emp, c, Exists, lifespan.All())
+	mustHold(t, err)
+	if joint.Cardinality() != 0 {
+		t.Fatalf("nobody earned 30000 while in Books:\n%s", joint)
+	}
+	// The composed σ-IF route wrongly admits Ahmed.
+	s1, err := SelectIf(emp, Predicate{Attr: "SAL", Theta: value.EQ, Const: value.Int(30000)}, Exists, lifespan.All())
+	mustHold(t, err)
+	s2, err := SelectIf(s1, Predicate{Attr: "DEPT", Theta: value.EQ, Const: value.String_("Books")}, Exists, lifespan.All())
+	mustHold(t, err)
+	if s2.Cardinality() == 0 {
+		t.Fatal("composition should (incorrectly for the joint reading) keep Ahmed")
+	}
+}
+
+func TestSelectIfCondForAll(t *testing.T) {
+	emp := empRelation(t)
+	// ∀s: SAL >= 30000 ∨ DEPT = Books — vacuously structured check over
+	// compound condition.
+	c := Or{Kids: []Condition{
+		atom("SAL", value.GE, value.Int(30000)),
+		atom("DEPT", value.EQ, value.String_("Books")),
+	}}
+	got, err := SelectIfCond(emp, c, ForAll, lifespan.All())
+	mustHold(t, err)
+	if got.Cardinality() != emp.Cardinality() {
+		t.Errorf("everyone always earns ≥30000 here: %d", got.Cardinality())
+	}
+}
+
+func TestCondErrors(t *testing.T) {
+	emp := empRelation(t)
+	if _, err := SelectWhenCond(emp, And{}, lifespan.All()); err == nil {
+		t.Error("empty AND must fail")
+	}
+	if _, err := SelectWhenCond(emp, Or{Kids: []Condition{atom("NOPE", value.EQ, value.Int(1))}}, lifespan.All()); err == nil {
+		t.Error("unknown attribute in kid must fail")
+	}
+	if _, err := SelectIfCond(emp, Not{Kid: atom("SAL", value.LT, value.String_("x"))}, Exists, lifespan.All()); err == nil {
+		t.Error("incomparable kinds must fail")
+	}
+}
+
+func TestCondDeMorganUnderSelectWhen(t *testing.T) {
+	// σ-WHEN(¬(p1 ∨ p2)) = σ-WHEN(¬p1 ∧ ¬p2) on random histories.
+	for seed := int64(0); seed < 30; seed++ {
+		r := genHist(seed, 5)
+		p1 := Atom{Pred: randomPredicate(seed)}
+		p2 := Atom{Pred: randomPredicate(seed + 999)}
+		lhs, err := SelectWhenCond(r, Not{Kid: Or{Kids: []Condition{p1, p2}}}, lifespan.All())
+		mustHold(t, err)
+		rhs, err := SelectWhenCond(r, And{Kids: []Condition{Not{Kid: p1}, Not{Kid: p2}}}, lifespan.All())
+		mustHold(t, err)
+		if !lhs.Equal(rhs) {
+			t.Fatalf("seed %d: De Morgan fails under σ-WHEN:\n%s\nvs\n%s", seed, lhs, rhs)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/tfunc"
+	"repro/internal/value"
+)
+
+func TestDropAttributeFigure6(t *testing.T) {
+	// Replay Figure 6 as operations: VOLUME recorded from the start,
+	// dropped at t2+1 = 21, re-added over [30,40].
+	tickerLS := ls("{[0,40]}")
+	s := schema.MustNew("STOCK", []string{"TICKER"},
+		schema.Attribute{Name: "TICKER", Domain: value.Strings, Lifespan: tickerLS},
+		schema.Attribute{Name: "VOLUME", Domain: value.Ints, Lifespan: tickerLS},
+	)
+	r := NewRelation(s)
+	r.MustInsert(NewTupleBuilder(s, tickerLS).
+		Key("TICKER", value.String_("IBM")).
+		Set("VOLUME", 0, 40, value.Int(500)).
+		MustBuild())
+
+	dropped, err := DropAttribute(r, "VOLUME", 21)
+	mustHold(t, err)
+	if !dropped.Scheme().ALS("VOLUME").Equal(ls("{[0,20]}")) {
+		t.Errorf("ALS after drop = %v", dropped.Scheme().ALS("VOLUME"))
+	}
+	// Stored values beyond the drop point are gone.
+	ibm := dropped.Tuples()[0]
+	if _, ok := ibm.At("VOLUME", 25); ok {
+		t.Error("value must vanish after the drop point")
+	}
+	if v, ok := ibm.At("VOLUME", 10); !ok || v.AsInt() != 500 {
+		t.Error("pre-drop values must survive")
+	}
+
+	// Re-add over [30,40] — the Figure 6 lifespan appears.
+	readded, err := AddAttributePeriod(dropped, "VOLUME", 30, 40)
+	mustHold(t, err)
+	if !readded.Scheme().ALS("VOLUME").Equal(ls("{[0,20],[30,40]}")) {
+		t.Errorf("ALS after re-add = %v", readded.Scheme().ALS("VOLUME"))
+	}
+	// New-period values can now be written.
+	updated, err := UpdateValue(readded, []string{`"IBM"`}, "VOLUME", 30, 40,
+		tfunc.Constant(ls("{[30,40]}"), value.Int(900)))
+	mustHold(t, err)
+	ibm2 := updated.Tuples()[0]
+	if v, ok := ibm2.At("VOLUME", 35); !ok || v.AsInt() != 900 {
+		t.Error("post-re-add value missing")
+	}
+	if _, ok := ibm2.At("VOLUME", 25); ok {
+		t.Error("gap must stay empty")
+	}
+}
+
+func TestDropAttributeErrors(t *testing.T) {
+	emp := empRelation(t)
+	if _, err := DropAttribute(emp, "NOPE", 5); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	if _, err := DropAttribute(emp, "NAME", 5); err == nil {
+		t.Error("dropping the key must fail")
+	}
+	if _, err := DropAttribute(emp, "SAL", -1000); err == nil {
+		t.Error("dropping everything must fail")
+	}
+	if _, err := AddAttributePeriod(emp, "NOPE", 0, 5); err == nil {
+		t.Error("re-adding unknown attribute must fail")
+	}
+}
+
+func TestAddAttribute(t *testing.T) {
+	emp := empRelation(t)
+	grown, err := AddAttribute(emp, schema.Attribute{
+		Name: "OFFICE", Domain: value.Ints, Lifespan: ls("{[0,99]}"), Interp: "step",
+	})
+	mustHold(t, err)
+	if !grown.Scheme().HasAttr("OFFICE") {
+		t.Fatal("OFFICE missing")
+	}
+	// Existing tuples carry the nowhere-defined value.
+	john, _ := grown.Lookup(`"John"`)
+	if !john.Value("OFFICE").IsNowhereDefined() {
+		t.Error("existing tuples have no OFFICE history yet")
+	}
+	// And can be filled in.
+	updated, err := UpdateValue(grown, []string{`"John"`}, "OFFICE", 0, 9,
+		tfunc.Constant(ls("{[0,9]}"), value.Int(42)))
+	mustHold(t, err)
+	j2, _ := updated.Lookup(`"John"`)
+	if v, ok := j2.At("OFFICE", 5); !ok || v.AsInt() != 42 {
+		t.Error("OFFICE update lost")
+	}
+	// Duplicate attribute fails.
+	if _, err := AddAttribute(emp, schema.Attribute{Name: "SAL", Domain: value.Ints, Lifespan: ls("{[0,99]}")}); err == nil {
+		t.Error("duplicate attribute must fail")
+	}
+}
+
+func TestUpdateValueExtendsLifespan(t *testing.T) {
+	emp := empRelation(t)
+	// Extend John's employment: a raise period [50,60] beyond his current
+	// lifespan [0,9] grows the tuple lifespan (a re-hire).
+	updated, err := UpdateValue(emp, []string{`"John"`}, "SAL", 50, 60,
+		tfunc.Constant(ls("{[50,60]}"), value.Int(50000)))
+	mustHold(t, err)
+	john, _ := updated.Lookup(`"John"`)
+	if !john.Lifespan().Equal(ls("{[0,9],[50,60]}")) {
+		t.Errorf("extended lifespan = %v", john.Lifespan())
+	}
+	if v, _ := john.At("SAL", 55); v.AsInt() != 50000 {
+		t.Error("new period value missing")
+	}
+	if v, _ := john.At("SAL", 3); v.AsInt() != 30000 {
+		t.Error("old values must survive")
+	}
+	// The key now covers the extended lifespan (invariants hold).
+	if err := updated.checkInvariants(); err != nil {
+		t.Fatalf("invariants after update: %v", err)
+	}
+	// Overwrite semantics within the existing lifespan.
+	over, err := UpdateValue(emp, []string{`"John"`}, "SAL", 2, 6,
+		tfunc.Constant(ls("{[2,6]}"), value.Int(99)))
+	mustHold(t, err)
+	j2, _ := over.Lookup(`"John"`)
+	if v, _ := j2.At("SAL", 4); v.AsInt() != 99 {
+		t.Error("overwrite failed")
+	}
+	if v, _ := j2.At("SAL", 8); v.AsInt() != 34000 {
+		t.Error("unoverwritten tail damaged")
+	}
+}
+
+func TestUpdateValueErrors(t *testing.T) {
+	emp := empRelation(t)
+	sal := tfunc.Constant(ls("{[0,5]}"), value.Int(1))
+	if _, err := UpdateValue(emp, []string{`"Nobody"`}, "SAL", 0, 5, sal); err == nil {
+		t.Error("unknown key must fail")
+	}
+	if _, err := UpdateValue(emp, []string{`"John"`}, "NOPE", 0, 5, sal); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	// Period outside ALS.
+	if _, err := UpdateValue(emp, []string{`"John"`}, "SAL", 500, 600,
+		tfunc.Constant(ls("{[500,600]}"), value.Int(1))); err == nil {
+		t.Error("period outside ALS must fail")
+	}
+}

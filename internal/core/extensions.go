@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lifespan"
+	"repro/internal/tfunc"
+	"repro/internal/value"
+)
+
+// This file implements the two extensions the paper explicitly sketches
+// but does not define:
+//
+// Section 5: "It would also be possible to define JOINs over the union of
+// the tuple lifespans, essentially equivalent to a SELECT-IF of the
+// Cartesian product; a resulting tuple will have null values for times
+// outside of its contributing tuples' lifespans." — ThetaJoinOuter.
+//
+// Section 3 / Figure 9: the interpolation function I mapping
+// "partially-represented functions" to total functions at the model
+// level. Materialize applies each attribute's declared interpolator to
+// complete every value over its vls.
+
+// ThetaJoinOuter joins two relations over the UNION of the contributing
+// tuples' lifespans: a pair joins if the θ condition holds at some shared
+// time (the SELECT-IF reading), and the result tuple then spans
+// t1.l ∪ t2.l, with each side's values left undefined — null — at times
+// the other side contributed. Contrast ThetaJoin, whose result lifespan
+// is exactly the agreement times and which therefore never contains
+// nulls.
+func ThetaJoinOuter(r1, r2 *Relation, attrA string, th value.Theta, attrB string) (*Relation, error) {
+	if !r1.scheme.DisjointAttrs(r2.scheme) {
+		return nil, fmt.Errorf("core: outer theta-join: schemes share attributes; rename first")
+	}
+	if !r1.scheme.HasAttr(attrA) {
+		return nil, fmt.Errorf("core: outer theta-join: %s not in %s", attrA, r1.scheme.Name)
+	}
+	if !r2.scheme.HasAttr(attrB) {
+		return nil, fmt.Errorf("core: outer theta-join: %s not in %s", attrB, r2.scheme.Name)
+	}
+	rs, err := joinScheme(r1, r2)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(rs)
+	for _, t1 := range r1.tuples {
+		f1 := t1.Value(attrA)
+		if f1.IsNowhereDefined() {
+			continue
+		}
+		for _, t2 := range r2.tuples {
+			holds, err := thetaTimes(f1, t2.Value(attrB), th)
+			if err != nil {
+				return nil, fmt.Errorf("core: outer theta-join: %w", err)
+			}
+			if holds.IsEmpty() {
+				continue // SELECT-IF ∃: no shared satisfying time, no pair
+			}
+			nl := t1.l.Union(t2.l)
+			nv := make(map[string]tfunc.Func, len(t1.v)+len(t2.v))
+			for a, f := range t1.v {
+				nv[a] = f
+			}
+			for a, f := range t2.v {
+				nv[a] = f
+			}
+			for _, k := range rs.Key {
+				nv[k] = extendConstant(nv[k], nl.Intersect(rs.ALS(k)))
+			}
+			nt, err := NewTuple(rs, nl, nv)
+			if err != nil {
+				return nil, fmt.Errorf("core: outer theta-join: %w", err)
+			}
+			if err := out.Insert(nt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Materialize lifts a relation from the representation level to the model
+// level (Figure 9): for every tuple and every attribute, the attribute's
+// declared interpolation function I completes the stored partial function
+// to a total function on vls(t,A,R). Attributes with "discrete"
+// interpolation must already be total on their vls; "step" carries values
+// forward; "linear" interpolates numerics. An attribute that stores no
+// value at all for a tuple stays nowhere-defined (there is nothing for I
+// to extend).
+func Materialize(r *Relation) (*Relation, error) {
+	out := NewRelation(r.scheme)
+	for _, t := range r.tuples {
+		nv := make(map[string]tfunc.Func, len(t.v))
+		for _, a := range r.scheme.Attrs {
+			f := t.v[a.Name]
+			if f.IsNowhereDefined() {
+				nv[a.Name] = f
+				continue
+			}
+			interp := a.Interp
+			if interp == "" {
+				interp = "discrete"
+			}
+			ip, err := tfunc.ByName(interp)
+			if err != nil {
+				return nil, err
+			}
+			vls := t.VLS(r.scheme, a.Name)
+			total, err := ip.Interpolate(f, vls)
+			if err != nil {
+				return nil, fmt.Errorf("core: materialize %s.%s: %w", r.scheme.Name, a.Name, err)
+			}
+			nv[a.Name] = total
+		}
+		nt, err := NewTuple(r.scheme, t.l, nv)
+		if err != nil {
+			return nil, fmt.Errorf("core: materialize: %w", err)
+		}
+		if err := out.Insert(nt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// CoalesceValueLifespans reports, for diagnostics and the storage
+// experiments, how many representation-level steps each attribute of the
+// relation stores in total — the size driver of Section 2's tradeoff
+// discussion.
+func CoalesceValueLifespans(r *Relation) map[string]int {
+	out := make(map[string]int, len(r.scheme.Attrs))
+	for _, t := range r.tuples {
+		for _, a := range r.scheme.Attrs {
+			out[a.Name] += t.v[a.Name].NumSteps()
+		}
+	}
+	return out
+}
+
+// EquiJoinOuter is ThetaJoinOuter with θ = equality, the outer analogue
+// of EquiJoin.
+func EquiJoinOuter(r1, r2 *Relation, attrA, attrB string) (*Relation, error) {
+	return ThetaJoinOuter(r1, r2, attrA, value.EQ, attrB)
+}
+
+// lifespanOfNulls returns, for a joined tuple, the set of times at which
+// the named attribute is null — in the tuple's lifespan and the
+// attribute's ALS but with no value. This is the paper's closing
+// observation made queryable: outer joins introduce nulls, inner joins do
+// not.
+func lifespanOfNulls(r *Relation, t *Tuple, attr string) lifespan.Lifespan {
+	vls := t.VLS(r.scheme, attr)
+	return vls.Minus(t.v[attr].Domain())
+}
+
+// NullLifespan is the exported form of lifespanOfNulls.
+func NullLifespan(r *Relation, t *Tuple, attr string) lifespan.Lifespan {
+	return lifespanOfNulls(r, t, attr)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func ls(s string) lifespan.Lifespan { return lifespan.MustParse(s) }
+
+// empScheme is the paper's running example: EMP(NAME*, SAL, DEPT) over
+// the period [0,99].
+func empScheme() *schema.Scheme {
+	full := ls("{[0,99]}")
+	return schema.MustNew("EMP", []string{"NAME"},
+		schema.Attribute{Name: "NAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "SAL", Domain: value.Ints, Lifespan: full, Interp: "step"},
+		schema.Attribute{Name: "DEPT", Domain: value.Strings, Lifespan: full, Interp: "step"},
+	)
+}
+
+// empRelation builds a small personnel history:
+//
+//	John:  lifespan [0,9];  SAL 30000 on [0,4], 34000 on [5,9]; DEPT Toys.
+//	Mary:  lifespan [3,19]; SAL 40000 throughout; DEPT Shoes then Books at 10.
+//	Ahmed: lifespan [0,3] ∪ [8,14] (rehired); SAL 30000 then 31000 at rehire.
+func empRelation(t testing.TB) *Relation {
+	t.Helper()
+	s := empScheme()
+	r := NewRelation(s)
+
+	john := NewTupleBuilder(s, ls("{[0,9]}")).
+		Key("NAME", value.String_("John")).
+		Set("SAL", 0, 4, value.Int(30000)).
+		Set("SAL", 5, 9, value.Int(34000)).
+		Set("DEPT", 0, 9, value.String_("Toys")).
+		MustBuild()
+	mary := NewTupleBuilder(s, ls("{[3,19]}")).
+		Key("NAME", value.String_("Mary")).
+		Set("SAL", 3, 19, value.Int(40000)).
+		Set("DEPT", 3, 9, value.String_("Shoes")).
+		Set("DEPT", 10, 19, value.String_("Books")).
+		MustBuild()
+	ahmed := NewTupleBuilder(s, ls("{[0,3],[8,14]}")).
+		Key("NAME", value.String_("Ahmed")).
+		Set("SAL", 0, 3, value.Int(30000)).
+		Set("SAL", 8, 14, value.Int(31000)).
+		Set("DEPT", 0, 3, value.String_("Toys")).
+		Set("DEPT", 8, 14, value.String_("Books")).
+		MustBuild()
+
+	r.MustInsert(john)
+	r.MustInsert(mary)
+	r.MustInsert(ahmed)
+	if err := r.checkInvariants(); err != nil {
+		t.Fatalf("fixture violates invariants: %v", err)
+	}
+	return r
+}
+
+// deptScheme: DEPT relation keyed by DNAME with a FLOOR attribute.
+func deptScheme() *schema.Scheme {
+	full := ls("{[0,99]}")
+	return schema.MustNew("DEPTREL", []string{"DNAME"},
+		schema.Attribute{Name: "DNAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "FLOOR", Domain: value.Ints, Lifespan: full, Interp: "step"},
+	)
+}
+
+func deptRelation(t testing.TB) *Relation {
+	t.Helper()
+	s := deptScheme()
+	r := NewRelation(s)
+	r.MustInsert(NewTupleBuilder(s, ls("{[0,19]}")).
+		Key("DNAME", value.String_("Toys")).
+		Set("FLOOR", 0, 19, value.Int(1)).
+		MustBuild())
+	r.MustInsert(NewTupleBuilder(s, ls("{[0,19]}")).
+		Key("DNAME", value.String_("Shoes")).
+		Set("FLOOR", 0, 9, value.Int(2)).
+		Set("FLOOR", 10, 19, value.Int(3)).
+		MustBuild())
+	r.MustInsert(NewTupleBuilder(s, ls("{[5,19]}")).
+		Key("DNAME", value.String_("Books")).
+		Set("FLOOR", 5, 19, value.Int(4)).
+		MustBuild())
+	return r
+}
+
+// singleTuple extracts the only tuple of a relation, failing otherwise.
+func singleTuple(t testing.TB, r *Relation) *Tuple {
+	t.Helper()
+	if r.Cardinality() != 1 {
+		t.Fatalf("expected exactly one tuple, got %d:\n%s", r.Cardinality(), r)
+	}
+	return r.Tuples()[0]
+}
+
+// mustHold fails the test if err is non-nil.
+func mustHold(t testing.TB, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+var now = chronon.Time(0)

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/lifespan"
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// This file machine-checks the paper's Section 5 claims:
+//
+//   "HRDM is a consistent extension of the traditional relational data
+//    model ... each component C of the relational model has a
+//    corresponding component C_H in the historical relational model with
+//    the property that the definitions of C and C_H become equivalent in
+//    the absence of a temporal dimension."
+//
+// We realize "the absence of a temporal dimension" exactly as the paper
+// suggests: "consider the set of times T as the singleton set {now}, the
+// lifespan of each tuple as T and the values of all tuples as constant
+// functions." Random static relations are lifted to HRDM at T = {now},
+// each operator runs on both sides, and the snapshot of the historical
+// result must equal the classical result.
+
+// staticGen produces pseudo-random classical relations over a fixed
+// scheme, plus the corresponding HRDM lifting at {now}.
+type staticGen struct {
+	rng *rand.Rand
+}
+
+const genNow = chronon.Time(0)
+
+var liftLS = lifespan.Point(genNow)
+
+func (g *staticGen) scheme(name string, attrs ...string) (*rel.Scheme, *schema.Scheme) {
+	doms := make([]value.Domain, len(attrs))
+	hattrs := make([]schema.Attribute, len(attrs))
+	for i, a := range attrs {
+		doms[i] = value.Ints
+		hattrs[i] = schema.Attribute{Name: a, Domain: value.Ints, Lifespan: liftLS}
+	}
+	rs, err := rel.NewScheme(name, attrs[:1], attrs, doms)
+	if err != nil {
+		panic(err)
+	}
+	// Classical relations are sets of whole tuples; HRDM relations are
+	// key-disjoint. To make the two models agree we key the lifted scheme
+	// on ALL attributes (whole-tuple identity), the faithful embedding of
+	// a classical relation.
+	hs := schema.MustNew(name, attrs, hattrs...)
+	return rs, hs
+}
+
+// relation generates n random tuples over k attributes with small value
+// range (to force collisions, joins and duplicates).
+func (g *staticGen) relation(rs *rel.Scheme, hs *schema.Scheme, n int) (*rel.Relation, *Relation) {
+	sr := rel.NewRelation(rs)
+	hr := NewRelation(hs)
+	for i := 0; i < n; i++ {
+		t := make(rel.Tuple, len(rs.Attrs))
+		for j := range t {
+			t[j] = value.Int(int64(g.rng.Intn(4)))
+		}
+		if sr.Contains(t) {
+			continue // set semantics
+		}
+		sr.MustInsert(t)
+		b := NewTupleBuilder(hs, liftLS)
+		for j, a := range rs.Attrs {
+			b.Key(a, t[j]) // every attribute is a key attribute: constant at {now}
+		}
+		hr.MustInsert(b.MustBuild())
+	}
+	return sr, hr
+}
+
+// snapshotEq asserts the snapshot of hr at now equals sr.
+func snapshotEq(t *testing.T, label string, hr *Relation, sr *rel.Relation) {
+	t.Helper()
+	got, err := Snapshot(hr, genNow)
+	if err != nil {
+		// An empty historical relation has no snapshot error path here;
+		// surface anything else.
+		if hr.Cardinality() == 0 && sr.Cardinality() == 0 {
+			return
+		}
+		t.Fatalf("%s: snapshot: %v", label, err)
+	}
+	if got.Cardinality() != sr.Cardinality() {
+		t.Fatalf("%s: snapshot cardinality %d, classical %d\nHRDM:\n%s\nclassical:\n%s",
+			label, got.Cardinality(), sr.Cardinality(), hr, sr)
+	}
+	for _, tu := range sr.Tuples() {
+		if !got.Contains(tu) {
+			t.Fatalf("%s: classical tuple %v missing from snapshot\nHRDM:\n%s", label, tu, hr)
+		}
+	}
+}
+
+func TestReductionSetOps(t *testing.T) {
+	g := &staticGen{rng: rand.New(rand.NewSource(7))}
+	for trial := 0; trial < 50; trial++ {
+		rs, hs := g.scheme("R", "A", "B")
+		sr1, hr1 := g.relation(rs, hs, 6)
+		sr2, hr2 := g.relation(rs, hs, 6)
+
+		su, err := rel.Union(sr1, sr2)
+		mustHold(t, err)
+		hu, err := Union(hr1, hr2)
+		mustHold(t, err)
+		snapshotEq(t, "union", hu, su)
+
+		si, err := rel.Intersect(sr1, sr2)
+		mustHold(t, err)
+		hi, err := Intersect(hr1, hr2)
+		mustHold(t, err)
+		snapshotEq(t, "intersect", hi, si)
+
+		sd, err := rel.Diff(sr1, sr2)
+		mustHold(t, err)
+		hd, err := Diff(hr1, hr2)
+		mustHold(t, err)
+		snapshotEq(t, "diff", hd, sd)
+
+		// The object-based variants coincide with the plain ones at
+		// T = {now} ("SELECT-IF and SELECT-WHEN reduce to one another";
+		// the same collapsing applies to the merge variants since every
+		// lifespan is the same singleton).
+		huo, err := UnionMerge(hr1, hr2)
+		mustHold(t, err)
+		snapshotEq(t, "union-merge", huo, su)
+		hio, err := IntersectMerge(hr1, hr2)
+		mustHold(t, err)
+		snapshotEq(t, "intersect-merge", hio, si)
+		hdo, err := DiffMerge(hr1, hr2)
+		mustHold(t, err)
+		snapshotEq(t, "diff-merge", hdo, sd)
+	}
+}
+
+func TestReductionSelect(t *testing.T) {
+	g := &staticGen{rng: rand.New(rand.NewSource(11))}
+	thetas := []value.Theta{value.EQ, value.NE, value.LT, value.LE, value.GT, value.GE}
+	for trial := 0; trial < 50; trial++ {
+		rs, hs := g.scheme("R", "A", "B")
+		sr, hr := g.relation(rs, hs, 8)
+		th := thetas[g.rng.Intn(len(thetas))]
+		c := value.Int(int64(g.rng.Intn(4)))
+
+		ss, err := rel.Select(sr, "A", th, c, "")
+		mustHold(t, err)
+
+		// Both SELECT flavors reduce to the traditional SELECT when
+		// T = {now}.
+		p := Predicate{Attr: "A", Theta: th, Const: c}
+		hIf, err := SelectIf(hr, p, Exists, lifespan.All())
+		mustHold(t, err)
+		snapshotEq(t, "select-if ∃", hIf, ss)
+		hIfAll, err := SelectIf(hr, p, ForAll, lifespan.All())
+		mustHold(t, err)
+		snapshotEq(t, "select-if ∀", hIfAll, ss)
+		hWhen, err := SelectWhen(hr, p, lifespan.All())
+		mustHold(t, err)
+		snapshotEq(t, "select-when", hWhen, ss)
+
+		// Attribute-vs-attribute predicates too.
+		sa, err := rel.Select(sr, "A", th, value.Value{}, "B")
+		mustHold(t, err)
+		pa := Predicate{Attr: "A", Theta: th, OtherAttr: "B"}
+		hWhenA, err := SelectWhen(hr, pa, lifespan.All())
+		mustHold(t, err)
+		snapshotEq(t, "select-when A θ B", hWhenA, sa)
+	}
+}
+
+func TestReductionProject(t *testing.T) {
+	g := &staticGen{rng: rand.New(rand.NewSource(13))}
+	for trial := 0; trial < 50; trial++ {
+		rs, hs := g.scheme("R", "A", "B", "C")
+		sr, hr := g.relation(rs, hs, 8)
+		sp, err := rel.Project(sr, "A", "B")
+		mustHold(t, err)
+		hp, err := Project(hr, "A", "B")
+		mustHold(t, err)
+		snapshotEq(t, "project", hp, sp)
+	}
+}
+
+func TestReductionJoins(t *testing.T) {
+	g := &staticGen{rng: rand.New(rand.NewSource(17))}
+	for trial := 0; trial < 30; trial++ {
+		rs1, hs1 := g.scheme("R", "A", "B")
+		rs2, hs2 := g.scheme("S", "C", "D")
+		sr1, hr1 := g.relation(rs1, hs1, 5)
+		sr2, hr2 := g.relation(rs2, hs2, 5)
+
+		sp, err := rel.Product(sr1, sr2)
+		mustHold(t, err)
+		hp, err := Product(hr1, hr2)
+		mustHold(t, err)
+		snapshotEq(t, "product", hp, sp)
+
+		sj, err := rel.ThetaJoin(sr1, sr2, "A", value.LE, "C")
+		mustHold(t, err)
+		hj, err := ThetaJoin(hr1, hr2, "A", value.LE, "C")
+		mustHold(t, err)
+		snapshotEq(t, "theta-join", hj, sj)
+
+		se, err := rel.ThetaJoin(sr1, sr2, "B", value.EQ, "D")
+		mustHold(t, err)
+		he, err := EquiJoin(hr1, hr2, "B", "D")
+		mustHold(t, err)
+		snapshotEq(t, "equi-join", he, se)
+	}
+}
+
+func TestReductionNaturalJoin(t *testing.T) {
+	g := &staticGen{rng: rand.New(rand.NewSource(19))}
+	for trial := 0; trial < 30; trial++ {
+		rs1, hs1 := g.scheme("R", "A", "B")
+		rs2, hs2 := g.scheme("S", "B", "C")
+		sr1, hr1 := g.relation(rs1, hs1, 5)
+		sr2, hr2 := g.relation(rs2, hs2, 5)
+		sn, err := rel.NaturalJoin(sr1, sr2)
+		mustHold(t, err)
+		hn, err := NaturalJoin(hr1, hr2)
+		mustHold(t, err)
+		snapshotEq(t, "natural-join", hn, sn)
+	}
+}
+
+func TestReductionWhenAndTimeslice(t *testing.T) {
+	// "There are no direct analogs to WHEN or TIME-SLICE; however
+	// TIME-SLICE can be viewed as the identity function defined only for
+	// time now, and WHEN maps a relation either to now or to the empty
+	// set, corresponding to either 'always' or 'never'."
+	g := &staticGen{rng: rand.New(rand.NewSource(23))}
+	rs, hs := g.scheme("R", "A", "B")
+	_, hrEmpty := g.relation(rs, hs, 0)
+	_, hr := g.relation(rs, hs, 6)
+
+	if !When(hrEmpty).IsEmpty() {
+		t.Error("WHEN of empty static relation = never (∅)")
+	}
+	if hr.Cardinality() > 0 && !When(hr).Equal(lifespan.Point(genNow)) {
+		t.Errorf("WHEN of nonempty static relation = {now}, got %v", When(hr))
+	}
+	sliced, err := TimesliceStatic(hr, lifespan.Point(genNow))
+	mustHold(t, err)
+	if !sliced.Equal(hr) {
+		t.Error("TIME-SLICE at {now} is the identity on static relations")
+	}
+	gone, err := TimesliceStatic(hr, lifespan.Point(genNow+1))
+	mustHold(t, err)
+	if gone.Cardinality() != 0 {
+		t.Error("TIME-SLICE away from now empties a static relation")
+	}
+}
+
+func TestSelectFlavorsCoincideAtNow(t *testing.T) {
+	// "both SELECT-IF and SELECT-WHEN reduce to one another ... when
+	// T = {now}" — as full historical relations, not just snapshots.
+	g := &staticGen{rng: rand.New(rand.NewSource(29))}
+	for trial := 0; trial < 30; trial++ {
+		rs, hs := g.scheme("R", "A", "B")
+		_, hr := g.relation(rs, hs, 8)
+		_ = rs
+		p := Predicate{Attr: "A", Theta: value.GE, Const: value.Int(2)}
+		a, err := SelectIf(hr, p, Exists, lifespan.All())
+		mustHold(t, err)
+		b, err := SelectWhen(hr, p, lifespan.All())
+		mustHold(t, err)
+		if !a.Equal(b) {
+			t.Fatalf("SELECT-IF ≠ SELECT-WHEN on static relation:\n%s\nvs\n%s", a, b)
+		}
+	}
+}

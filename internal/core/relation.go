@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+)
+
+// Relation is a historical relation r on scheme R: "a finite set of
+// tuples t on scheme R such that if t1 and t2 are in r, ∀s ∈ t1.l and
+// ∀s' ∈ t2.l, t1.v(K)(s) ≠ t2.v(K)(s')" (Section 3) — i.e. two distinct
+// tuples never share a key value at any pair of times. Because key
+// attributes are constant-valued, this reduces to: distinct tuples have
+// distinct constant key values.
+//
+// Tuples are kept in insertion order; byKey indexes the canonical key
+// string for the uniqueness check and merges.
+type Relation struct {
+	scheme *schema.Scheme
+	tuples []*Tuple
+	byKey  map[string]int
+}
+
+// NewRelation returns an empty relation on scheme r.
+func NewRelation(r *schema.Scheme) *Relation {
+	return &Relation{scheme: r, byKey: make(map[string]int)}
+}
+
+// Scheme returns the relation's scheme R.
+func (r *Relation) Scheme() *schema.Scheme { return r.scheme }
+
+// Cardinality returns the number of tuples (objects).
+func (r *Relation) Cardinality() int { return len(r.tuples) }
+
+// Tuples returns the tuples in insertion order. The slice is shared;
+// callers must not mutate it.
+func (r *Relation) Tuples() []*Tuple { return r.tuples }
+
+// Insert adds a tuple, enforcing the key-disjointness condition.
+func (r *Relation) Insert(t *Tuple) error {
+	ks := t.keyString(r.scheme)
+	if _, dup := r.byKey[ks]; dup {
+		return fmt.Errorf("core: relation %s: duplicate key %s", r.scheme.Name, ks)
+	}
+	r.byKey[ks] = len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	return nil
+}
+
+// MustInsert is Insert that panics on error; for tests and examples.
+func (r *Relation) MustInsert(t *Tuple) {
+	if err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+// InsertMerging adds a tuple; if a tuple with the same key exists and is
+// mergable, the two are merged (t + t'), mirroring history-building
+// updates. If the existing tuple contradicts the new one, an error is
+// returned.
+func (r *Relation) InsertMerging(t *Tuple) error {
+	ks := t.keyString(r.scheme)
+	i, dup := r.byKey[ks]
+	if !dup {
+		return r.Insert(t)
+	}
+	old := r.tuples[i]
+	if !old.Mergable(t, r.scheme) {
+		return fmt.Errorf("core: relation %s: tuple with key %s contradicts existing history", r.scheme.Name, ks)
+	}
+	m, err := old.Merge(t)
+	if err != nil {
+		return err
+	}
+	r.tuples[i] = m
+	return nil
+}
+
+// Lookup returns the tuple whose key string matches t's, if any.
+func (r *Relation) Lookup(keyVals ...string) (*Tuple, bool) {
+	ks := strings.Join(keyVals, "|")
+	i, ok := r.byKey[ks]
+	if !ok {
+		return nil, false
+	}
+	return r.tuples[i], true
+}
+
+// lookupTuple finds the relation's tuple sharing o's key values.
+func (r *Relation) lookupTuple(o *Tuple) (*Tuple, bool) {
+	i, ok := r.byKey[o.keyString(r.scheme)]
+	if !ok {
+		return nil, false
+	}
+	return r.tuples[i], true
+}
+
+// Lifespan computes LS(r) = t1.l ∪ t2.l ∪ ... ∪ tn.l, "the lifespan of
+// relation r" (Section 3). WHEN is defined directly from this.
+func (r *Relation) Lifespan() lifespan.Lifespan {
+	ls := lifespan.Empty()
+	for _, t := range r.tuples {
+		ls = ls.Union(t.l)
+	}
+	return ls
+}
+
+// Equal reports set equality of two relations: same scheme attributes and
+// an equal tuple for every key, independent of insertion order.
+func (r *Relation) Equal(o *Relation) bool {
+	if len(r.tuples) != len(o.tuples) {
+		return false
+	}
+	if !r.scheme.SameAttrs(o.scheme) {
+		return false
+	}
+	for _, t := range r.tuples {
+		u, ok := o.lookupTuple(t)
+		if !ok || !t.Equal(u) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedTuples returns the tuples sorted by key string — a canonical
+// order for printing and deterministic iteration in experiments.
+func (r *Relation) sortedTuples() []*Tuple {
+	out := append([]*Tuple(nil), r.tuples...)
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].keyString(r.scheme) < out[j].keyString(r.scheme)
+	})
+	return out
+}
+
+// String renders the relation: scheme header followed by one line per
+// tuple in canonical key order.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.scheme.String())
+	for _, t := range r.sortedTuples() {
+		b.WriteString("\n  ")
+		b.WriteString(t.render(r.scheme))
+	}
+	return b.String()
+}
+
+// checkInvariants verifies the paper's structural conditions for every
+// tuple. Operators call it in tests (via the invariant-checking helpers)
+// rather than on every construction for performance.
+func (r *Relation) checkInvariants() error {
+	seen := make(map[string]bool, len(r.tuples))
+	for _, t := range r.tuples {
+		ks := t.keyString(r.scheme)
+		if seen[ks] {
+			return fmt.Errorf("core: relation %s: duplicate key %s", r.scheme.Name, ks)
+		}
+		seen[ks] = true
+		if t.l.IsEmpty() {
+			return fmt.Errorf("core: relation %s: tuple %s has empty lifespan", r.scheme.Name, ks)
+		}
+		for _, a := range r.scheme.Attrs {
+			f := t.v[a.Name]
+			vls := t.VLS(r.scheme, a.Name)
+			if !f.Domain().SubsetOf(vls) {
+				return fmt.Errorf("core: relation %s: tuple %s: %s defined outside vls", r.scheme.Name, ks, a.Name)
+			}
+			if r.scheme.IsKey(a.Name) {
+				if !f.IsConstant() || !f.Domain().Equal(vls) {
+					return fmt.Errorf("core: relation %s: tuple %s: key %s not constant over vls", r.scheme.Name, ks, a.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

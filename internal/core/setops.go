@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/tfunc"
+)
+
+// Union implements r1 ∪ r2 (Section 4.1):
+//
+//	r1 ∪ r2 = { t on R3 | t ∈ r1 or t ∈ r2 },
+//	R3 = <A1, K1, ALS1 ∪ ALS2, DOM1>.
+//
+// This is the plain set-theoretic union the paper shows to be
+// counter-intuitive for historical relations (Figure 11): an object
+// present in both operands with different histories would appear twice,
+// violating the key condition — that case is reported as an error, and
+// UnionMerge is the object-respecting alternative.
+func Union(r1, r2 *Relation) (*Relation, error) {
+	rs, err := schema.UnionScheme(r1.scheme, r2.scheme, r1.scheme.Name)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(rs)
+	for _, t := range r1.tuples {
+		if err := out.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range r2.tuples {
+		if prev, ok := out.lookupTuple(t); ok {
+			if !prev.Equal(t) {
+				return nil, fmt.Errorf("core: union: key %s present in both operands with different histories; use UnionMerge",
+					t.keyString(rs))
+			}
+			continue
+		}
+		if err := out.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Intersect implements r1 ∩ r2 (Section 4.1): tuples present, as whole
+// historical objects with identical histories, in both operands.
+func Intersect(r1, r2 *Relation) (*Relation, error) {
+	rs, err := schema.IntersectScheme(r1.scheme, r2.scheme, r1.scheme.Name)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(rs)
+	for _, t := range r1.tuples {
+		u, ok := r2.lookupTuple(t)
+		if ok && t.Equal(u) {
+			if err := out.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Diff implements r1 − r2 (Section 4.1): { t on R1 | t ∈ r1 and t ∉ r2 },
+// with tuple membership meaning an identical historical tuple.
+func Diff(r1, r2 *Relation) (*Relation, error) {
+	if !r1.scheme.UnionCompatible(r2.scheme) {
+		return nil, fmt.Errorf("core: diff: %s and %s are not union-compatible", r1.scheme.Name, r2.scheme.Name)
+	}
+	out := NewRelation(r1.scheme)
+	for _, t := range r1.tuples {
+		if u, ok := r2.lookupTuple(t); ok && t.Equal(u) {
+			continue
+		}
+		if err := out.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// UnionMerge implements the object-based union r1 ∪o r2 (Section 4.1):
+//
+//	r1 ∪o r2 = { t | t ∈ r1 and t is not matched in r2
+//	            ∨ t ∈ r2 and t is not matched in r1
+//	            ∨ ∃t1 ∈ r1 ∃t2 ∈ r2 [t = t1 + t2] }
+//
+// "Merging" tuples of corresponding objects produces the r1 + r2 of
+// Figure 11 rather than duplicating the object. Operands must be
+// merge-compatible (same attributes, domains, and key). Matched tuples
+// that are not mergable (contradicting histories) are an error.
+func UnionMerge(r1, r2 *Relation) (*Relation, error) {
+	if !r1.scheme.MergeCompatible(r2.scheme) {
+		return nil, fmt.Errorf("core: union-merge: %s and %s are not merge-compatible", r1.scheme.Name, r2.scheme.Name)
+	}
+	rs, err := schema.UnionScheme(r1.scheme, r2.scheme, r1.scheme.Name)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(rs)
+	for _, t1 := range r1.tuples {
+		t2, ok := r2.lookupTuple(t1)
+		if !ok {
+			// Not matched in r2.
+			if err := out.Insert(t1); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !t1.Mergable(t2, rs) {
+			return nil, fmt.Errorf("core: union-merge: key %s has contradicting histories", t1.keyString(rs))
+		}
+		m, err := t1.Merge(t2)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Insert(m); err != nil {
+			return nil, err
+		}
+	}
+	for _, t2 := range r2.tuples {
+		if _, ok := r1.lookupTuple(t2); !ok {
+			if err := out.Insert(t2); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// IntersectMerge implements r1 ∩o r2 (Section 4.1):
+//
+//	r1 ∩o r2 = { t | ∃t1 ∈ r1 ∃t2 ∈ r2 [t1, t2 mergable ∧ t.l = t1.l ∩ t2.l
+//	             ∧ ∀A ∀s ∈ t.l  t1.v(A)(s) = t2.v(A)(s) = t.v(A)(s)] }
+//
+// The result holds each shared object over the times both operands agree
+// on it; objects whose lifespans do not intersect contribute nothing.
+func IntersectMerge(r1, r2 *Relation) (*Relation, error) {
+	if !r1.scheme.MergeCompatible(r2.scheme) {
+		return nil, fmt.Errorf("core: intersect-merge: %s and %s are not merge-compatible", r1.scheme.Name, r2.scheme.Name)
+	}
+	rs, err := schema.IntersectScheme(r1.scheme, r2.scheme, r1.scheme.Name)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(rs)
+	for _, t1 := range r1.tuples {
+		t2, ok := r2.lookupTuple(t1)
+		if !ok || !t1.Mergable(t2, r1.scheme) {
+			continue
+		}
+		nt := t1.restrict(t2.l)
+		if nt == nil {
+			continue
+		}
+		if err := out.Insert(nt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DiffMerge implements r1 −o r2 (Section 4.1):
+//
+//	r1 −o r2 = { t | t ∈ r1 and t is not matched in r2
+//	            ∨ ∃t1 ∈ r1 ∃t2 ∈ r2 [t1, t2 mergable ∧ t.l = t1.l − t2.l
+//	              ∧ ∀A  t.v(A) = t1.v(A)|t.l] }
+//
+// Each object keeps the part of its history not covered by r2. Objects
+// wholly covered (t1.l ⊆ t2.l) vanish.
+func DiffMerge(r1, r2 *Relation) (*Relation, error) {
+	if !r1.scheme.MergeCompatible(r2.scheme) {
+		return nil, fmt.Errorf("core: diff-merge: %s and %s are not merge-compatible", r1.scheme.Name, r2.scheme.Name)
+	}
+	out := NewRelation(r1.scheme)
+	for _, t1 := range r1.tuples {
+		t2, ok := r2.lookupTuple(t1)
+		if !ok || !t1.Mergable(t2, r1.scheme) {
+			// Not matched in r2 (an unmergable same-key tuple is "not
+			// matched" per the paper's definition of matched).
+			if err := out.Insert(t1); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		nl := t1.l.Minus(t2.l)
+		if nl.IsEmpty() {
+			continue
+		}
+		nt := t1.restrict(nl)
+		if err := out.Insert(nt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Product implements the Cartesian product r1 × r2 (Section 4.1) for
+// schemes with disjoint attribute sets. Following the paper's closing
+// discussion, the resulting tuple is "defined over the union of the
+// lifespans of the participating tuples, and thus potentially contain[s]
+// null values": t.l = t1.l ∪ t2.l, with each side's attribute values
+// defined only on that side's original vls (undefined — null — elsewhere).
+func Product(r1, r2 *Relation) (*Relation, error) {
+	if !r1.scheme.DisjointAttrs(r2.scheme) {
+		return nil, fmt.Errorf("core: product: schemes %s and %s share attributes; rename first",
+			r1.scheme.Name, r2.scheme.Name)
+	}
+	rs, err := schema.ConcatScheme(r1.scheme, r2.scheme, r1.scheme.Name+"x"+r2.scheme.Name)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(rs)
+	for _, t1 := range r1.tuples {
+		for _, t2 := range r2.tuples {
+			nl := t1.l.Union(t2.l)
+			nv := make(map[string]tfunc.Func, len(t1.v)+len(t2.v))
+			for a, f := range t1.v {
+				nv[a] = f
+			}
+			for a, f := range t2.v {
+				nv[a] = f
+			}
+			// Key values must cover the combined lifespan: extend each
+			// side's constant keys over the union lifespan (their constant
+			// value identifies the object at all times; the paper's nulls
+			// concern non-key values).
+			for _, k := range r1.scheme.Key {
+				nv[k] = extendConstant(nv[k], nl.Intersect(rs.ALS(k)))
+			}
+			for _, k := range r2.scheme.Key {
+				nv[k] = extendConstant(nv[k], nl.Intersect(rs.ALS(k)))
+			}
+			nt, err := NewTuple(rs, nl, nv)
+			if err != nil {
+				return nil, fmt.Errorf("core: product: %w", err)
+			}
+			if err := out.Insert(nt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// extendConstant widens a constant function to cover ls.
+func extendConstant(f tfunc.Func, ls lifespan.Lifespan) tfunc.Func {
+	v, ok := f.ConstantValue()
+	if !ok {
+		return f
+	}
+	return tfunc.Constant(ls, v)
+}

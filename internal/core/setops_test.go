@@ -1,0 +1,265 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// splitEmp splits the EMP fixture into an early and a late epoch to
+// exercise the set operators: r1 = T_{[0,9]}(emp), r2 = T_{[5,19]}(emp).
+func splitEmp(t *testing.T) (r1, r2 *Relation) {
+	emp := empRelation(t)
+	var err error
+	r1, err = TimesliceStatic(emp, ls("{[0,9]}"))
+	mustHold(t, err)
+	r2, err = TimesliceStatic(emp, ls("{[5,19]}"))
+	mustHold(t, err)
+	return r1, r2
+}
+
+func TestUnionDisjointObjects(t *testing.T) {
+	emp := empRelation(t)
+	early, err := TimesliceStatic(emp, ls("{[0,2]}"))
+	mustHold(t, err)
+	late, err := TimesliceStatic(emp, ls("{[15,19]}"))
+	mustHold(t, err)
+	// early has John and Ahmed; late has only Mary — no shared keys.
+	u, err := Union(early, late)
+	mustHold(t, err)
+	if u.Cardinality() != 3 {
+		t.Fatalf("union cardinality = %d, want 3\n%s", u.Cardinality(), u)
+	}
+}
+
+func TestUnionIdenticalTuplesAbsorb(t *testing.T) {
+	a := empRelation(t)
+	b := empRelation(t)
+	u, err := Union(a, b)
+	mustHold(t, err)
+	if !u.Equal(a) {
+		t.Error("r ∪ r = r")
+	}
+}
+
+func TestUnionConflictIsError(t *testing.T) {
+	// Figure 11: plain union of two relations holding different periods
+	// of the same object is counter-intuitive — our Union surfaces the
+	// key violation rather than duplicating the object.
+	r1, r2 := splitEmp(t)
+	if _, err := Union(r1, r2); err == nil {
+		t.Error("plain union with overlapping-key different-history tuples must error")
+	} else if !strings.Contains(err.Error(), "UnionMerge") {
+		t.Errorf("error should point at UnionMerge: %v", err)
+	}
+}
+
+func TestUnionMergeFigure11(t *testing.T) {
+	// The object-based union r1 ∪o r2 "merges tuples of corresponding
+	// objects", rebuilding each object's full history.
+	r1, r2 := splitEmp(t)
+	emp := empRelation(t)
+	u, err := UnionMerge(r1, r2)
+	mustHold(t, err)
+	if !u.Equal(emp) {
+		t.Errorf("r1 ∪o r2 should restore the original relation:\ngot\n%s\nwant\n%s", u, emp)
+	}
+}
+
+func TestUnionMergeKeepsUnmatched(t *testing.T) {
+	emp := empRelation(t)
+	onlyEarly, err := TimesliceStatic(emp, ls("{[0,2]}")) // John, Ahmed
+	mustHold(t, err)
+	onlyLate, err := TimesliceStatic(emp, ls("{[15,19]}")) // Mary
+	mustHold(t, err)
+	u, err := UnionMerge(onlyEarly, onlyLate)
+	mustHold(t, err)
+	if u.Cardinality() != 3 {
+		t.Fatalf("cardinality = %d, want 3", u.Cardinality())
+	}
+	mary, ok := u.Lookup(`"Mary"`)
+	if !ok || !mary.Lifespan().Equal(ls("{[15,19]}")) {
+		t.Error("unmatched tuple must pass through unchanged")
+	}
+}
+
+func TestUnionMergeContradiction(t *testing.T) {
+	s := empScheme()
+	mk := func(sal int64) *Relation {
+		r := NewRelation(s)
+		r.MustInsert(NewTupleBuilder(s, ls("{[0,4]}")).
+			Key("NAME", value.String_("Ed")).
+			Set("SAL", 0, 4, value.Int(sal)).MustBuild())
+		return r
+	}
+	if _, err := UnionMerge(mk(10), mk(20)); err == nil {
+		t.Error("contradicting histories must fail union-merge")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := empRelation(t)
+	b := empRelation(t)
+	i, err := Intersect(a, b)
+	mustHold(t, err)
+	if !i.Equal(a) {
+		t.Error("r ∩ r = r")
+	}
+	// Intersection with a sliced copy: tuples differ (restricted), so the
+	// plain intersection is empty.
+	r1, r2 := splitEmp(t)
+	i2, err := Intersect(r1, r2)
+	mustHold(t, err)
+	if i2.Cardinality() != 0 {
+		t.Errorf("plain intersection of sliced relations should be empty, got %d", i2.Cardinality())
+	}
+}
+
+func TestIntersectMerge(t *testing.T) {
+	// r1 ∩o r2: each shared object over the agreed intersection.
+	r1, r2 := splitEmp(t)
+	i, err := IntersectMerge(r1, r2)
+	mustHold(t, err)
+	// John: [0,9] ∩ [5,9] = [5,9]; Mary: [3,9] ∩ [5,19] = [5,9];
+	// Ahmed: [0,3]∪[8,9] ∩ [8,14] = [8,9].
+	if i.Cardinality() != 3 {
+		t.Fatalf("cardinality = %d, want 3\n%s", i.Cardinality(), i)
+	}
+	john, _ := i.Lookup(`"John"`)
+	if !john.Lifespan().Equal(ls("{[5,9]}")) {
+		t.Errorf("John ∩o lifespan = %v", john.Lifespan())
+	}
+	ahmed, _ := i.Lookup(`"Ahmed"`)
+	if !ahmed.Lifespan().Equal(ls("{[8,9]}")) {
+		t.Errorf("Ahmed ∩o lifespan = %v", ahmed.Lifespan())
+	}
+	if v, _ := john.At("SAL", 7); v.AsInt() != 34000 {
+		t.Error("values must survive intersect-merge")
+	}
+}
+
+func TestIntersectMergeDropsDisjoint(t *testing.T) {
+	emp := empRelation(t)
+	a, err := TimesliceStatic(emp, ls("{[0,2]}"))
+	mustHold(t, err)
+	b, err := TimesliceStatic(emp, ls("{[15,19]}"))
+	mustHold(t, err)
+	i, err := IntersectMerge(a, b)
+	mustHold(t, err)
+	if i.Cardinality() != 0 {
+		t.Errorf("disjoint epochs share no object-times, got %d tuples", i.Cardinality())
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := empRelation(t)
+	b := empRelation(t)
+	d, err := Diff(a, b)
+	mustHold(t, err)
+	if d.Cardinality() != 0 {
+		t.Error("r − r = ∅")
+	}
+	empty := NewRelation(a.Scheme())
+	d2, err := Diff(a, empty)
+	mustHold(t, err)
+	if !d2.Equal(a) {
+		t.Error("r − ∅ = r")
+	}
+}
+
+func TestDiffMerge(t *testing.T) {
+	r1, r2 := splitEmp(t)
+	d, err := DiffMerge(r1, r2)
+	mustHold(t, err)
+	// John: [0,9] − [5,9] = [0,4]; Mary: [3,9] − [5,19] = [3,4];
+	// Ahmed: ([0,3]∪[8,9]) − [8,14] = [0,3].
+	john, ok := d.Lookup(`"John"`)
+	if !ok || !john.Lifespan().Equal(ls("{[0,4]}")) {
+		t.Errorf("John −o = %v", john)
+	}
+	mary, ok := d.Lookup(`"Mary"`)
+	if !ok || !mary.Lifespan().Equal(ls("{[3,4]}")) {
+		t.Errorf("Mary −o = %v", mary)
+	}
+	ahmed, ok := d.Lookup(`"Ahmed"`)
+	if !ok || !ahmed.Lifespan().Equal(ls("{[0,3]}")) {
+		t.Errorf("Ahmed −o = %v", ahmed)
+	}
+	// Values restricted: John's post-raise salary is gone.
+	if _, ok := john.At("SAL", 7); ok {
+		t.Error("diff-merge must cut values outside the remaining lifespan")
+	}
+	if v, _ := john.At("SAL", 2); v.AsInt() != 30000 {
+		t.Error("remaining values must survive")
+	}
+}
+
+func TestDiffMergeWholeCoverVanishes(t *testing.T) {
+	emp := empRelation(t)
+	d, err := DiffMerge(emp, emp)
+	mustHold(t, err)
+	if d.Cardinality() != 0 {
+		t.Errorf("r −o r = ∅, got %d tuples", d.Cardinality())
+	}
+}
+
+func TestSetOpsCompatibilityErrors(t *testing.T) {
+	emp := empRelation(t)
+	dept := deptRelation(t)
+	if _, err := Union(emp, dept); err == nil {
+		t.Error("union of incompatible schemes must fail")
+	}
+	if _, err := Intersect(emp, dept); err == nil {
+		t.Error("intersect of incompatible schemes must fail")
+	}
+	if _, err := Diff(emp, dept); err == nil {
+		t.Error("diff of incompatible schemes must fail")
+	}
+	if _, err := UnionMerge(emp, dept); err == nil {
+		t.Error("union-merge of incompatible schemes must fail")
+	}
+	if _, err := IntersectMerge(emp, dept); err == nil {
+		t.Error("intersect-merge of incompatible schemes must fail")
+	}
+	if _, err := DiffMerge(emp, dept); err == nil {
+		t.Error("diff-merge of incompatible schemes must fail")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	emp := empRelation(t)
+	dept := deptRelation(t)
+	p, err := Product(emp, dept)
+	mustHold(t, err)
+	if p.Cardinality() != emp.Cardinality()*dept.Cardinality() {
+		t.Fatalf("|r1 × r2| = %d, want %d", p.Cardinality(), emp.Cardinality()*dept.Cardinality())
+	}
+	// Product tuples live on the union of lifespans and may have nulls
+	// (undefined values) where one side is absent.
+	johnToys, ok := p.Lookup(`"John"`, `"Toys"`)
+	if !ok {
+		t.Fatal("John×Toys missing")
+	}
+	if !johnToys.Lifespan().Equal(ls("{[0,19]}")) {
+		t.Errorf("product lifespan = %v, want union {[0,19]}", johnToys.Lifespan())
+	}
+	// John's SAL is null (undefined) during [10,19] — his side is absent.
+	if _, ok := johnToys.At("SAL", 15); ok {
+		t.Error("null expected for SAL outside John's lifespan")
+	}
+	if v, _ := johnToys.At("FLOOR", 15); v.AsInt() != 1 {
+		t.Error("dept side value expected at 15")
+	}
+	// Shared attribute names must be rejected.
+	if _, err := Product(emp, emp); err == nil {
+		t.Error("product with shared attributes must fail")
+	}
+	r2, err := emp.Rename("b")
+	mustHold(t, err)
+	p2, err := Product(emp, r2)
+	mustHold(t, err)
+	if p2.Cardinality() != 9 {
+		t.Errorf("self-product via rename = %d, want 9", p2.Cardinality())
+	}
+}

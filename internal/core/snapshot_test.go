@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func TestSnapshotBasics(t *testing.T) {
+	emp := empRelation(t)
+	// At time 2: John (30000,Toys) and Ahmed (30000,Toys); Mary not born.
+	snap, err := Snapshot(emp, 2)
+	mustHold(t, err)
+	if snap.Cardinality() != 2 {
+		t.Fatalf("snapshot@2 cardinality = %d, want 2\n%s", snap.Cardinality(), snap)
+	}
+	// At time 12: Mary (40000,Books) and Ahmed (31000,Books).
+	snap12, err := Snapshot(emp, 12)
+	mustHold(t, err)
+	if snap12.Cardinality() != 2 {
+		t.Fatalf("snapshot@12 cardinality = %d\n%s", snap12.Cardinality(), snap12)
+	}
+	// At time 50: nobody.
+	snap50, err := Snapshot(emp, 50)
+	mustHold(t, err)
+	if snap50.Cardinality() != 0 {
+		t.Error("snapshot outside all lifespans is empty")
+	}
+}
+
+func TestSnapshotEvolvingSchema(t *testing.T) {
+	// Figure 6: VOLUME defined on [10,20] ∪ [30,40] only. Snapshots in
+	// the gap must drop the attribute from the scheme.
+	tickerLS := ls("{[0,40]}")
+	s := schema.MustNew("STOCK", []string{"TICKER"},
+		schema.Attribute{Name: "TICKER", Domain: value.Strings, Lifespan: tickerLS},
+		schema.Attribute{Name: "PRICE", Domain: value.Ints, Lifespan: tickerLS},
+		schema.Attribute{Name: "VOLUME", Domain: value.Ints, Lifespan: ls("{[10,20],[30,40]}")},
+	)
+	r := NewRelation(s)
+	b := NewTupleBuilder(s, tickerLS).
+		Key("TICKER", value.String_("IBM")).
+		Set("PRICE", 0, 40, value.Int(120))
+	// VOLUME values only within its ALS.
+	b.Set("VOLUME", 10, 20, value.Int(1000)).Set("VOLUME", 30, 40, value.Int(2000))
+	r.MustInsert(b.MustBuild())
+
+	in, err := Snapshot(r, 15)
+	mustHold(t, err)
+	if in.Scheme().Index("VOLUME") < 0 {
+		t.Error("VOLUME defined at 15")
+	}
+	gap, err := Snapshot(r, 25)
+	mustHold(t, err)
+	if gap.Scheme().Index("VOLUME") >= 0 {
+		t.Error("VOLUME must vanish from the scheme during the gap")
+	}
+	if gap.Cardinality() != 1 {
+		t.Error("IBM still present during the gap (without VOLUME)")
+	}
+}
+
+func TestSnapshotSkipsIncompleteTuples(t *testing.T) {
+	// A tuple alive at s but with an undefined retained attribute is not
+	// representable classically (no nulls) and is skipped.
+	s := empScheme()
+	r := NewRelation(s)
+	b := NewTupleBuilder(s, ls("{[0,9]}")).
+		Key("NAME", value.String_("Ghost")).
+		Set("SAL", 0, 4, value.Int(1))
+	// no DEPT at all, no SAL after 4
+	r.MustInsert(b.MustBuild())
+	snap, err := Snapshot(r, 2)
+	mustHold(t, err)
+	if snap.Cardinality() != 0 {
+		t.Error("tuple with undefined DEPT must be skipped at 2")
+	}
+}

@@ -1,0 +1,129 @@
+package cube
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/lifespan"
+	"repro/internal/value"
+)
+
+func empCube(t *testing.T) *Relation {
+	t.Helper()
+	s := &Scheme{
+		Name:   "EMP",
+		Attrs:  []string{"NAME", "SAL", "DEPT"},
+		Doms:   []value.Domain{value.Strings, value.Ints, value.Strings},
+		NumKey: 1,
+	}
+	r := NewRelation(s, chronon.NewInterval(0, 19))
+	rec := func(tm chronon.Time, name string, sal int64, dept string) {
+		t.Helper()
+		if err := r.RecordState(tm, []value.Value{value.String_(name), value.Int(sal), value.String_(dept)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// John [0,9]: 30000 then 34000 at 5.
+	for tm := chronon.Time(0); tm <= 9; tm++ {
+		sal := int64(30000)
+		if tm >= 5 {
+			sal = 34000
+		}
+		rec(tm, "John", sal, "Toys")
+	}
+	// Ahmed [0,3] and rehired [8,14].
+	for tm := chronon.Time(0); tm <= 3; tm++ {
+		rec(tm, "Ahmed", 30000, "Toys")
+	}
+	for tm := chronon.Time(8); tm <= 14; tm++ {
+		rec(tm, "Ahmed", 31000, "Books")
+	}
+	return r
+}
+
+func TestRecordValidation(t *testing.T) {
+	r := empCube(t)
+	if err := r.RecordState(5, []value.Value{value.String_("X")}); err == nil {
+		t.Error("wrong arity must fail")
+	}
+	if err := r.RecordState(99, []value.Value{value.String_("X"), value.Int(1), value.String_("D")}); err == nil {
+		t.Error("time outside clock must fail")
+	}
+}
+
+func TestKeyHistory(t *testing.T) {
+	r := empCube(t)
+	hist := r.KeyHistory(value.String_("Ahmed"))
+	if len(hist) != 11 { // 4 + 7 chronons
+		t.Fatalf("Ahmed history rows = %d, want 11", len(hist))
+	}
+	if hist[0].Time != 0 || hist[len(hist)-1].Time != 14 {
+		t.Error("history must be time-ordered")
+	}
+	// The gap [4,7] contributes nothing.
+	for _, row := range hist {
+		if row.Time >= 4 && row.Time <= 7 {
+			t.Errorf("row at %v should not exist (fired period)", row.Time)
+		}
+	}
+	if r.KeyHistory(value.String_("Nobody")) != nil {
+		t.Error("unknown key yields nil history")
+	}
+}
+
+func TestSnapshotAt(t *testing.T) {
+	r := empCube(t)
+	if got := len(r.SnapshotAt(2)); got != 2 {
+		t.Errorf("snapshot@2 = %d rows, want 2", got)
+	}
+	if got := len(r.SnapshotAt(6)); got != 1 { // only John
+		t.Errorf("snapshot@6 = %d rows, want 1", got)
+	}
+	if got := len(r.SnapshotAt(19)); got != 0 {
+		t.Errorf("snapshot@19 = %d rows, want 0", got)
+	}
+	if r.SnapshotAt(99) != nil {
+		t.Error("snapshot outside clock is nil")
+	}
+}
+
+func TestWhen(t *testing.T) {
+	r := empCube(t)
+	ls, err := r.When("SAL", value.EQ, value.Int(30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// John [0,4] ∪ Ahmed [0,3] = [0,4].
+	if !ls.Equal(lifespan.MustParse("{[0,4]}")) {
+		t.Errorf("when SAL=30000 = %v", ls)
+	}
+	if _, err := r.When("NOPE", value.EQ, value.Int(0)); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	if _, err := r.When("SAL", value.LT, value.String_("x")); err == nil {
+		t.Error("incomparable kinds must fail")
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	r := empCube(t)
+	if r.NumObjects() != 2 {
+		t.Errorf("objects = %d", r.NumObjects())
+	}
+	// 2 objects × 20 chronons of clock.
+	if r.NumRows() != 40 {
+		t.Errorf("rows = %d, want 40", r.NumRows())
+	}
+	sz := r.SizeBytes()
+	// Lower bound: 40 rows × 9 bytes overhead.
+	if sz < 360 {
+		t.Errorf("size = %d, below overhead floor", sz)
+	}
+	// The cube pays for dead chronons: a clock twice as long doubles the
+	// overhead even with the same data.
+	r2 := NewRelation(r.Scheme(), chronon.NewInterval(0, 39))
+	_ = r2.RecordState(0, []value.Value{value.String_("John"), value.Int(1), value.String_("D")})
+	if r2.NumRows() != 40 {
+		t.Errorf("one object on a 40-chronon clock = %d rows", r2.NumRows())
+	}
+}

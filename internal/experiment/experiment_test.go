@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment functions are exercised at full scale by cmd/hrdm-bench;
+// these tests verify structure and the qualitative claims ("shape") each
+// table must exhibit, on the same code paths.
+
+func TestTableString(t *testing.T) {
+	tb := Table{
+		ID:     "EX",
+		Title:  "demo",
+		Header: []string{"a", "long-column"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Note:   "hello",
+	}
+	out := tb.String()
+	for _, frag := range []string{"== EX: demo ==", "long-column", "333", "note: hello"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tb := E5UnionVsMerge()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if !strings.Contains(row[1], "rejected") {
+			t.Errorf("plain union of overlapping objects must be rejected, got %q", row[1])
+		}
+		n, _ := strconv.Atoi(row[0])
+		merged, _ := strconv.Atoi(row[2])
+		if merged == 0 || merged > n {
+			t.Errorf("∪o of split histories must restore ≤ %d objects, got %d", n, merged)
+		}
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tb := E10Storage()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	bytesOf := func(row []string, col int) float64 {
+		v, err := strconv.Atoi(row[col])
+		if err != nil || v <= 0 {
+			t.Fatalf("bad size cell %q in %v", row[col], row)
+		}
+		return float64(v)
+	}
+	for _, row := range tb.Rows {
+		hrdm, ts, cube := bytesOf(row, 1), bytesOf(row, 2), bytesOf(row, 3)
+		// The dense cube is always the most expensive by far.
+		if cube < ts || cube < hrdm {
+			t.Errorf("cube must dominate both: %v", row)
+		}
+		// On the wide heterogeneous workloads — the paper's motivating
+		// shape — HRDM must beat tuple-timestamping.
+		if strings.HasPrefix(row[0], "wide") && ts <= hrdm {
+			t.Errorf("HRDM should win on wide schemas: %v", row)
+		}
+	}
+	// The ts/HRDM ratio must grow with schema width (the redundancy of
+	// re-storing the whole tuple grows with width).
+	ratio := func(row []string) float64 { return bytesOf(row, 2) / bytesOf(row, 1) }
+	if !(ratio(tb.Rows[5]) > ratio(tb.Rows[3])) {
+		t.Errorf("ts/HRDM should grow with width: %v vs %v", tb.Rows[5], tb.Rows[3])
+	}
+	// The cube/HRDM ratio must grow with quieter narrow histories.
+	cr := func(row []string) float64 { return bytesOf(row, 3) / bytesOf(row, 1) }
+	if !(cr(tb.Rows[2]) > cr(tb.Rows[0])) {
+		t.Errorf("cube/HRDM should grow with quieter histories: %v vs %v", tb.Rows[2], tb.Rows[0])
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tb := E9Reduction()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if !strings.HasSuffix(row[3], "x") {
+			t.Errorf("ratio cell malformed: %v", row)
+		}
+	}
+}
+
+func TestSmallExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	// Smoke-run the remaining tables; structure only.
+	for _, tb := range []Table{E2Project(), E8When(), E12Laws()} {
+		if len(tb.Rows) == 0 || len(tb.Header) == 0 {
+			t.Errorf("%s: empty table", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Errorf("%s: ragged row %v", tb.ID, row)
+			}
+		}
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite is slow; run without -short")
+	}
+	tables := All()
+	if len(tables) != 12 {
+		t.Fatalf("expected 12 experiment tables, got %d", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tb := range tables {
+		if seen[tb.ID] {
+			t.Errorf("duplicate experiment id %s", tb.ID)
+		}
+		seen[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: no rows", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Errorf("%s: ragged row %v vs header %v", tb.ID, row, tb.Header)
+			}
+			for i, cell := range row {
+				if strings.TrimSpace(cell) == "" {
+					t.Errorf("%s: empty cell %d in %v", tb.ID, i, row)
+				}
+			}
+		}
+		if !strings.Contains(tb.String(), tb.ID) {
+			t.Errorf("%s: String() must carry the id", tb.ID)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// mustDeptScheme builds the DEPTREL scheme used by the join experiments.
+func mustDeptScheme(full lifespan.Lifespan) *schema.Scheme {
+	return schema.MustNew("DEPTREL", []string{"DNAME"},
+		schema.Attribute{Name: "DNAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "FLOOR", Domain: value.Ints, Lifespan: full, Interp: "step"},
+	)
+}
+
+// mustMgrScheme builds a MGR scheme sharing NAME with the personnel
+// scheme, for natural-join experiments.
+func mustMgrScheme(full lifespan.Lifespan) *schema.Scheme {
+	return schema.MustNew("MGR", []string{"NAME"},
+		schema.Attribute{Name: "NAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "BONUS", Domain: value.Ints, Lifespan: full, Interp: "step"},
+	)
+}
+
+// mustLiftScheme is the two-int-attribute scheme of the lifted static
+// relations in E9; both attributes are key so whole-tuple identity
+// matches classical set semantics.
+func mustLiftScheme() *schema.Scheme {
+	at := lifespan.Point(0)
+	return schema.MustNew("R", []string{"K", "A"},
+		schema.Attribute{Name: "K", Domain: value.Ints, Lifespan: at},
+		schema.Attribute{Name: "A", Domain: value.Ints, Lifespan: at},
+	)
+}

@@ -1,0 +1,202 @@
+package hql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Expr is a parsed query expression. Relation-valued expressions
+// evaluate to historical relations; WHEN expressions evaluate to
+// lifespans; SNAPSHOT expressions evaluate to classical relations.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// RelName references a stored relation by name.
+type RelName struct{ Name string }
+
+// SelectExpr is SELECT IF/WHEN cond [FORALL|EXISTS] [DURING ls] FROM
+// expr, where cond is a boolean combination (AND/OR/NOT, parentheses) of
+// simple predicates.
+type SelectExpr struct {
+	When   bool // true: SELECT-WHEN; false: SELECT-IF
+	Cond   CondExpr
+	ForAll bool    // SELECT-IF only
+	During *LSExpr // optional L parameter; nil means T
+	Source Expr
+}
+
+// CondExpr is a parsed condition tree: either a leaf predicate or a
+// boolean combination.
+type CondExpr struct {
+	Pred *PredExpr  // leaf
+	Op   string     // "AND", "OR", "NOT"
+	Kids []CondExpr // operands (one for NOT)
+}
+
+// String renders the condition.
+func (c CondExpr) String() string {
+	if c.Pred != nil {
+		return c.Pred.String()
+	}
+	if c.Op == "NOT" {
+		return "NOT (" + c.Kids[0].String() + ")"
+	}
+	parts := make([]string, len(c.Kids))
+	for i, k := range c.Kids {
+		parts[i] = k.String()
+	}
+	return "(" + strings.Join(parts, " "+c.Op+" ") + ")"
+}
+
+// ProjectExpr is PROJECT attrs FROM expr.
+type ProjectExpr struct {
+	Attrs  []string
+	Source Expr
+}
+
+// TimesliceExpr is TIMESLICE expr AT ls (static) or TIMESLICE expr BY
+// attr (dynamic).
+type TimesliceExpr struct {
+	Source Expr
+	At     *LSExpr // static form
+	By     string  // dynamic form (time-valued attribute)
+}
+
+// BinaryExpr covers the set-theoretic operators, product and joins.
+type BinaryExpr struct {
+	Op          string // UNION, UNIONMERGE, INTERSECT, INTERSECTMERGE, MINUS, MINUSMERGE, TIMES, JOIN, NATJOIN, TIMEJOIN
+	Left, Right Expr
+	// JOIN: ON AttrA theta AttrB. TIMEJOIN: ON AttrA.
+	AttrA, AttrB string
+	Theta        value.Theta
+}
+
+// RenameExpr is RENAME expr AS prefix.
+type RenameExpr struct {
+	Source Expr
+	Prefix string
+}
+
+// MaterializeExpr is MATERIALIZE expr — lift the representation level to
+// the model level by applying each attribute's interpolation function.
+type MaterializeExpr struct{ Source Expr }
+
+// WhenExpr is WHEN expr — relation to lifespan.
+type WhenExpr struct{ Source Expr }
+
+// SnapshotExpr is SNAPSHOT expr AT time — relation to classical relation.
+type SnapshotExpr struct {
+	Source Expr
+	At     int64
+}
+
+// PredExpr is the selection criterion A θ rhs.
+type PredExpr struct {
+	Attr  string
+	Theta value.Theta
+	// Exactly one of Const/OtherAttr is set.
+	Const     value.Value
+	OtherAttr string
+}
+
+// LSExpr is a lifespan-valued expression: a literal, WHEN expr, or a
+// set-theoretic combination.
+type LSExpr struct {
+	Literal string // "{...}" when a literal
+	When    Expr   // WHEN sub-expression
+	Op      string // UNION, INTERSECT, MINUS combining Left and Right
+	Left    *LSExpr
+	Right   *LSExpr
+}
+
+func (*RelName) exprNode()         {}
+func (*SelectExpr) exprNode()      {}
+func (*ProjectExpr) exprNode()     {}
+func (*TimesliceExpr) exprNode()   {}
+func (*BinaryExpr) exprNode()      {}
+func (*RenameExpr) exprNode()      {}
+func (*MaterializeExpr) exprNode() {}
+func (*WhenExpr) exprNode()        {}
+func (*SnapshotExpr) exprNode()    {}
+
+func (e *RelName) String() string { return e.Name }
+
+func (e *SelectExpr) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if e.When {
+		b.WriteString("WHEN ")
+	} else {
+		b.WriteString("IF ")
+	}
+	b.WriteString(e.Cond.String())
+	if !e.When {
+		if e.ForAll {
+			b.WriteString(" FORALL")
+		} else {
+			b.WriteString(" EXISTS")
+		}
+	}
+	if e.During != nil {
+		b.WriteString(" DURING " + e.During.String())
+	}
+	b.WriteString(" FROM " + e.Source.String())
+	return b.String()
+}
+
+func (e *ProjectExpr) String() string {
+	return "PROJECT " + strings.Join(e.Attrs, ", ") + " FROM " + e.Source.String()
+}
+
+func (e *TimesliceExpr) String() string {
+	if e.By != "" {
+		return "TIMESLICE " + e.Source.String() + " BY " + e.By
+	}
+	return "TIMESLICE " + e.Source.String() + " AT " + e.At.String()
+}
+
+func (e *BinaryExpr) String() string {
+	s := "(" + e.Left.String() + " " + e.Op + " " + e.Right.String()
+	switch e.Op {
+	case "JOIN", "OUTERJOIN":
+		s += " ON " + e.AttrA + " " + e.Theta.String() + " " + e.AttrB
+	case "TIMEJOIN":
+		s += " ON " + e.AttrA
+	}
+	return s + ")"
+}
+
+func (e *RenameExpr) String() string {
+	return "RENAME " + e.Source.String() + " AS " + e.Prefix
+}
+
+func (e *MaterializeExpr) String() string { return "MATERIALIZE " + e.Source.String() }
+
+func (e *WhenExpr) String() string { return "WHEN " + e.Source.String() }
+
+func (e *SnapshotExpr) String() string {
+	return fmt.Sprintf("SNAPSHOT %s AT %d", e.Source, e.At)
+}
+
+func (p PredExpr) String() string {
+	rhs := p.OtherAttr
+	if rhs == "" {
+		rhs = p.Const.String()
+	}
+	return p.Attr + " " + p.Theta.String() + " " + rhs
+}
+
+func (l *LSExpr) String() string {
+	switch {
+	case l.Literal != "":
+		return l.Literal
+	case l.When != nil:
+		return "WHEN (" + l.When.String() + ")"
+	default:
+		return "(" + l.Left.String() + " " + l.Op + " " + l.Right.String() + ")"
+	}
+}

@@ -1,0 +1,247 @@
+// Package hql implements a small textual query language over the HRDM
+// algebra, used by the hrdm-cli shell and the examples. Every operator of
+// the paper's algebra is reachable:
+//
+//	SELECT IF SAL >= 30000 FORALL DURING {[0,9]} FROM EMP
+//	SELECT WHEN SAL = 30000 FROM EMP
+//	SELECT WHEN SAL = 30000 AND DEPT = "Toys" FROM EMP
+//	SELECT IF NOT (SAL < 20000) OR DEPT = "Books" FORALL FROM EMP
+//	PROJECT NAME, SAL FROM EMP
+//	TIMESLICE EMP AT {[0,9]}             -- static TIME-SLICE
+//	TIMESLICE EMP AT WHEN (SELECT WHEN SAL=30000 FROM EMP)
+//	TIMESLICE EMP BY REVIEW              -- dynamic TIME-SLICE
+//	EMP UNION EMP2, EMP UNIONMERGE EMP2, INTERSECT[MERGE], MINUS[MERGE]
+//	EMP TIMES DEPTREL                    -- Cartesian product
+//	EMP JOIN DEPTREL ON DEPT = DNAME     -- θ-join / equijoin
+//	EMP NATJOIN MGR                      -- natural join
+//	SHIP TIMEJOIN DEPTREL ON SHIPDATE    -- TIME-JOIN
+//	EMP OUTERJOIN DEPTREL ON DEPT = DNAME -- §5 union-lifespan join (nulls)
+//	MATERIALIZE EMP                      -- apply interpolators (Figure 9)
+//	WHEN EMP                             -- Ω, yields a lifespan
+//	SNAPSHOT EMP AT 7                    -- classical snapshot
+package hql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokTime     // @123
+	tokLifespan // {...} literal, captured verbatim
+	tokTheta    // = != < <= > >=
+	tokComma
+	tokLParen
+	tokRParen
+)
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// keywords of the language, upper-cased. Identifiers matching these are
+// lexed as keywords (case-insensitive).
+var keywords = map[string]bool{
+	"SELECT": true, "IF": true, "WHEN": true, "FROM": true,
+	"FORALL": true, "EXISTS": true, "DURING": true,
+	"PROJECT": true, "TIMESLICE": true, "AT": true, "BY": true,
+	"UNION": true, "UNIONMERGE": true,
+	"INTERSECT": true, "INTERSECTMERGE": true,
+	"MINUS": true, "MINUSMERGE": true,
+	"TIMES": true, "JOIN": true, "NATJOIN": true, "TIMEJOIN": true,
+	"ON": true, "SNAPSHOT": true, "RENAME": true, "AS": true,
+	"OUTERJOIN": true, "MATERIALIZE": true,
+	"TRUE": true, "FALSE": true,
+	"AND": true, "OR": true, "NOT": true,
+}
+
+// lexer turns a query string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// lex tokenizes the whole input.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src}
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("hql: at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) && unicode.IsSpace(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case c == '(':
+		lx.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		lx.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		lx.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '{':
+		// Lifespan literal: capture through the matching brace.
+		depth := 0
+		for i := lx.pos; i < len(lx.src); i++ {
+			switch lx.src[i] {
+			case '{':
+				depth++
+			case '}':
+				depth--
+				if depth == 0 {
+					text := lx.src[lx.pos : i+1]
+					lx.pos = i + 1
+					return token{kind: tokLifespan, text: text, pos: start}, nil
+				}
+			}
+		}
+		return token{}, lx.errf(start, "unterminated lifespan literal")
+	case c == '"' || c == '\'':
+		quote := c
+		i := lx.pos + 1
+		var sb strings.Builder
+		for i < len(lx.src) {
+			if lx.src[i] == '\\' && i+1 < len(lx.src) {
+				sb.WriteByte(lx.src[i+1])
+				i += 2
+				continue
+			}
+			if lx.src[i] == quote {
+				lx.pos = i + 1
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(lx.src[i])
+			i++
+		}
+		return token{}, lx.errf(start, "unterminated string literal")
+	case c == '@':
+		lx.pos++
+		num, err := lx.number(start)
+		if err != nil {
+			return token{}, err
+		}
+		if num.kind != tokInt {
+			return token{}, lx.errf(start, "time literal must be an integer")
+		}
+		return token{kind: tokTime, text: num.text, pos: start}, nil
+	case c == '=':
+		lx.pos++
+		return token{kind: tokTheta, text: "=", pos: start}, nil
+	case c == '!':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+			lx.pos += 2
+			return token{kind: tokTheta, text: "!=", pos: start}, nil
+		}
+		return token{}, lx.errf(start, "unexpected '!'")
+	case c == '<':
+		if lx.pos+1 < len(lx.src) && (lx.src[lx.pos+1] == '=' || lx.src[lx.pos+1] == '>') {
+			t := lx.src[lx.pos : lx.pos+2]
+			lx.pos += 2
+			if t == "<>" {
+				t = "!="
+			}
+			return token{kind: tokTheta, text: t, pos: start}, nil
+		}
+		lx.pos++
+		return token{kind: tokTheta, text: "<", pos: start}, nil
+	case c == '>':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+			lx.pos += 2
+			return token{kind: tokTheta, text: ">=", pos: start}, nil
+		}
+		lx.pos++
+		return token{kind: tokTheta, text: ">", pos: start}, nil
+	case c == '-' || c >= '0' && c <= '9':
+		return lx.number(start)
+	case isIdentStart(c):
+		i := lx.pos
+		for i < len(lx.src) && isIdentPart(lx.src[i]) {
+			i++
+		}
+		text := lx.src[lx.pos:i]
+		lx.pos = i
+		if keywords[strings.ToUpper(text)] {
+			return token{kind: tokKeyword, text: strings.ToUpper(text), pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	}
+	return token{}, lx.errf(start, "unexpected character %q", c)
+}
+
+func (lx *lexer) number(start int) (token, error) {
+	i := lx.pos
+	if i < len(lx.src) && lx.src[i] == '-' {
+		i++
+	}
+	digits := 0
+	for i < len(lx.src) && lx.src[i] >= '0' && lx.src[i] <= '9' {
+		i++
+		digits++
+	}
+	kind := tokInt
+	if i < len(lx.src) && lx.src[i] == '.' {
+		kind = tokFloat
+		i++
+		for i < len(lx.src) && lx.src[i] >= '0' && lx.src[i] <= '9' {
+			i++
+			digits++
+		}
+	}
+	if digits == 0 {
+		return token{}, lx.errf(start, "malformed number")
+	}
+	text := lx.src[lx.pos:i]
+	lx.pos = i
+	return token{kind: kind, text: text, pos: start}, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}

@@ -1,0 +1,118 @@
+package hql
+
+import (
+	"reflect"
+	"testing"
+)
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func texts(toks []token) []string {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.kind != tokEOF {
+			out = append(out, t.text)
+		}
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex(`SELECT WHEN SAL >= 30000 FROM EMP`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokenKind{tokKeyword, tokKeyword, tokIdent, tokTheta, tokInt, tokKeyword, tokIdent, tokEOF}
+	if !reflect.DeepEqual(kinds(toks), want) {
+		t.Errorf("kinds = %v, want %v", kinds(toks), want)
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := lex(`select From tImEsLiCe`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := texts(toks); !reflect.DeepEqual(got, []string{"SELECT", "FROM", "TIMESLICE"}) {
+		t.Errorf("texts = %v", got)
+	}
+}
+
+func TestLexLifespanLiteral(t *testing.T) {
+	toks, err := lex(`{[0,9],[12,15]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokLifespan || toks[0].text != "{[0,9],[12,15]}" {
+		t.Errorf("lifespan token = %v", toks[0])
+	}
+	if _, err := lex(`{[0,9]`); err == nil {
+		t.Error("unterminated lifespan must fail")
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := lex(`"hello" 'world' "es\"c"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := texts(toks); !reflect.DeepEqual(got, []string{"hello", "world", `es"c`}) {
+		t.Errorf("strings = %v", got)
+	}
+	if _, err := lex(`"open`); err == nil {
+		t.Error("unterminated string must fail")
+	}
+}
+
+func TestLexNumbersAndTimes(t *testing.T) {
+	toks, err := lex(`42 -7 3.5 @12`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokenKind{tokInt, tokInt, tokFloat, tokTime, tokEOF}
+	if !reflect.DeepEqual(kinds(toks), want) {
+		t.Errorf("kinds = %v, want %v", kinds(toks), want)
+	}
+	if _, err := lex(`@3.5`); err == nil {
+		t.Error("fractional time must fail")
+	}
+	if _, err := lex(`-`); err == nil {
+		t.Error("bare minus must fail")
+	}
+}
+
+func TestLexThetas(t *testing.T) {
+	toks, err := lex(`= != < <= > >= <>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := texts(toks); !reflect.DeepEqual(got, []string{"=", "!=", "<", "<=", ">", ">=", "!="}) {
+		t.Errorf("thetas = %v", got)
+	}
+	if _, err := lex(`!x`); err == nil {
+		t.Error("bare ! must fail")
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := lex(`SELECT #`); err == nil {
+		t.Error("unexpected character must fail")
+	}
+}
+
+func TestLexDottedIdent(t *testing.T) {
+	// Renamed attributes like b.SAL lex as one identifier.
+	toks, err := lex(`b.SAL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokIdent || toks[0].text != "b.SAL" {
+		t.Errorf("dotted ident = %v", toks[0])
+	}
+}

@@ -1,0 +1,351 @@
+// Package lifespan implements the lifespan concept of Clifford & Croker's
+// HRDM paper (Section 2).
+//
+// "A lifespan L is any subset of the set T."  Because T is isomorphic to
+// the natural numbers, every lifespan arising in a finite database is a
+// finite union of disjoint closed intervals; that is the canonical form
+// maintained here.  The paper requires the usual set-theoretic operations
+// over lifespans (L1 ∪ L2, L1 ∩ L2, L1 − L2, and complement), which this
+// package provides together with membership, iteration and comparison.
+package lifespan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/chronon"
+)
+
+// Lifespan is a subset of the time domain T, kept in canonical form: a
+// sorted slice of non-empty, non-overlapping, non-adjacent closed
+// intervals. The zero value is the empty lifespan. Lifespans are
+// immutable; all operations return new values.
+type Lifespan struct {
+	ivs []chronon.Interval
+}
+
+// Empty returns the empty lifespan ∅.
+func Empty() Lifespan { return Lifespan{} }
+
+// All returns the lifespan covering the entire (machine-bounded) time
+// universe T. It plays the role of T itself, e.g. as the default L
+// parameter of SELECT-IF ("If L = T ... s ∈ (L ∩ t.l) is equivalent to
+// s ∈ t.l").
+func All() Lifespan {
+	return Lifespan{ivs: []chronon.Interval{chronon.NewInterval(chronon.Min, chronon.Max)}}
+}
+
+// New builds a lifespan from any collection of intervals, canonicalizing
+// overlaps, adjacency and empties.
+func New(ivs ...chronon.Interval) Lifespan {
+	return fromIntervals(ivs)
+}
+
+// Interval returns the single-interval lifespan [lo,hi].
+func Interval(lo, hi chronon.Time) Lifespan {
+	return New(chronon.NewInterval(lo, hi))
+}
+
+// Point returns the singleton lifespan {t}.
+func Point(t chronon.Time) Lifespan { return New(chronon.Point(t)) }
+
+// Points builds a lifespan from individual time points.
+func Points(ts ...chronon.Time) Lifespan {
+	ivs := make([]chronon.Interval, 0, len(ts))
+	for _, t := range ts {
+		ivs = append(ivs, chronon.Point(t))
+	}
+	return fromIntervals(ivs)
+}
+
+// fromIntervals canonicalizes an arbitrary interval collection.
+func fromIntervals(in []chronon.Interval) Lifespan {
+	ivs := make([]chronon.Interval, 0, len(in))
+	for _, iv := range in {
+		if !iv.IsEmpty() {
+			ivs = append(ivs, iv)
+		}
+	}
+	if len(ivs) == 0 {
+		return Lifespan{}
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Lo != ivs[j].Lo {
+			return ivs[i].Lo < ivs[j].Lo
+		}
+		return ivs[i].Hi < ivs[j].Hi
+	})
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Overlaps(*last) || iv.Adjacent(*last) {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return Lifespan{ivs: out}
+}
+
+// Intervals returns a copy of the canonical interval decomposition.
+func (l Lifespan) Intervals() []chronon.Interval {
+	out := make([]chronon.Interval, len(l.ivs))
+	copy(out, l.ivs)
+	return out
+}
+
+// NumIntervals returns the number of maximal intervals in the lifespan.
+// For an object's lifespan this counts its incarnations: a re-hired
+// employee's lifespan has one interval per employment period.
+func (l Lifespan) NumIntervals() int { return len(l.ivs) }
+
+// IsEmpty reports whether the lifespan is ∅.
+func (l Lifespan) IsEmpty() bool { return len(l.ivs) == 0 }
+
+// Contains reports t ∈ L.
+func (l Lifespan) Contains(t chronon.Time) bool {
+	// Binary search for the first interval with Hi >= t.
+	i := sort.Search(len(l.ivs), func(i int) bool { return l.ivs[i].Hi >= t })
+	return i < len(l.ivs) && l.ivs[i].Contains(t)
+}
+
+// Duration returns |L|, the number of chronons in the lifespan,
+// saturating at the maximum int64.
+func (l Lifespan) Duration() int64 {
+	var sum int64
+	for _, iv := range l.ivs {
+		d := iv.Duration()
+		sum += d
+		if sum < 0 { // overflow
+			return 1<<63 - 1
+		}
+	}
+	return sum
+}
+
+// Min returns the earliest time point of the lifespan. It panics on the
+// empty lifespan; callers must check IsEmpty first.
+func (l Lifespan) Min() chronon.Time {
+	if l.IsEmpty() {
+		panic("lifespan: Min of empty lifespan")
+	}
+	return l.ivs[0].Lo
+}
+
+// Max returns the latest time point of the lifespan. It panics on the
+// empty lifespan.
+func (l Lifespan) Max() chronon.Time {
+	if l.IsEmpty() {
+		panic("lifespan: Max of empty lifespan")
+	}
+	return l.ivs[len(l.ivs)-1].Hi
+}
+
+// Span returns the smallest single interval covering the lifespan, i.e.
+// [Min,Max], or the empty interval for ∅.
+func (l Lifespan) Span() chronon.Interval {
+	if l.IsEmpty() {
+		return chronon.EmptyInterval()
+	}
+	return chronon.NewInterval(l.Min(), l.Max())
+}
+
+// Union returns L1 ∪ L2 (paper Section 2, derived lifespans, op 1).
+func (l Lifespan) Union(m Lifespan) Lifespan {
+	if l.IsEmpty() {
+		return m
+	}
+	if m.IsEmpty() {
+		return l
+	}
+	all := make([]chronon.Interval, 0, len(l.ivs)+len(m.ivs))
+	all = append(all, l.ivs...)
+	all = append(all, m.ivs...)
+	return fromIntervals(all)
+}
+
+// Intersect returns L1 ∩ L2. This is the operation that defines the
+// lifespan of an attribute value: vls(t,A,R) = t.l ∩ ALS(A,R).
+func (l Lifespan) Intersect(m Lifespan) Lifespan {
+	var out []chronon.Interval
+	i, j := 0, 0
+	for i < len(l.ivs) && j < len(m.ivs) {
+		iv := l.ivs[i].Intersect(m.ivs[j])
+		if !iv.IsEmpty() {
+			out = append(out, iv)
+		}
+		if l.ivs[i].Hi < m.ivs[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	// Segments produced by pairwise interval intersection of canonical
+	// operands are already disjoint, non-adjacent and sorted.
+	return Lifespan{ivs: out}
+}
+
+// Minus returns the set difference L1 − L2, used by the object-based
+// difference operator: (t1 −o t2).l = t1.l − t2.l.
+func (l Lifespan) Minus(m Lifespan) Lifespan {
+	if l.IsEmpty() || m.IsEmpty() {
+		return l
+	}
+	var out []chronon.Interval
+	j := 0
+	for _, iv := range l.ivs {
+		lo := iv.Lo
+		exhausted := false // iv fully consumed by a cut reaching its end
+		for j < len(m.ivs) && m.ivs[j].Hi < lo {
+			j++
+		}
+		k := j
+		for k < len(m.ivs) && m.ivs[k].Lo <= iv.Hi {
+			cut := m.ivs[k]
+			if cut.Lo > lo {
+				out = append(out, chronon.NewInterval(lo, cut.Lo.Prev()))
+			}
+			if cut.Hi >= iv.Hi {
+				exhausted = true
+				break
+			}
+			lo = cut.Hi.Next()
+			k++
+		}
+		if !exhausted && lo <= iv.Hi {
+			out = append(out, chronon.NewInterval(lo, iv.Hi))
+		}
+	}
+	return Lifespan{ivs: out}
+}
+
+// Complement returns T − L with respect to the machine-bounded universe.
+func (l Lifespan) Complement() Lifespan { return All().Minus(l) }
+
+// Equal reports set equality of the two lifespans.
+func (l Lifespan) Equal(m Lifespan) bool {
+	if len(l.ivs) != len(m.ivs) {
+		return false
+	}
+	for i := range l.ivs {
+		if !l.ivs[i].Equal(m.ivs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports L ⊆ M.
+func (l Lifespan) SubsetOf(m Lifespan) bool {
+	return l.Intersect(m).Equal(l)
+}
+
+// Overlaps reports L ∩ M ≠ ∅ without materializing the intersection.
+func (l Lifespan) Overlaps(m Lifespan) bool {
+	i, j := 0, 0
+	for i < len(l.ivs) && j < len(m.ivs) {
+		if l.ivs[i].Overlaps(m.ivs[j]) {
+			return true
+		}
+		if l.ivs[i].Hi < m.ivs[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// Each calls f for every time point of the lifespan in ascending order,
+// stopping early if f returns false. Iterating a lifespan touching
+// Min/Max would not terminate in practice; callers iterate only over
+// database-derived (finite, small) lifespans.
+func (l Lifespan) Each(f func(chronon.Time) bool) {
+	for _, iv := range l.ivs {
+		for t := iv.Lo; ; t++ {
+			if !f(t) {
+				return
+			}
+			if t == iv.Hi {
+				break
+			}
+		}
+	}
+}
+
+// Times materializes every time point of the lifespan in ascending
+// order. Intended for small lifespans (tests, examples, figure dumps).
+func (l Lifespan) Times() []chronon.Time {
+	out := make([]chronon.Time, 0, l.Duration())
+	l.Each(func(t chronon.Time) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// String renders the lifespan in the paper's notation, e.g.
+// "{[1,5],[9,12]}"; the empty lifespan renders as "{}".
+func (l Lifespan) String() string {
+	if l.IsEmpty() {
+		return "{}"
+	}
+	parts := make([]string, len(l.ivs))
+	for i, iv := range l.ivs {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Parse parses the notation produced by String: a brace-enclosed,
+// comma-separated list of intervals "[lo,hi]" or bare points. Because a
+// bare point and an interval both use commas, intervals must use the
+// bracketed form inside braces; "{1,3,[5,9]}" parses as {1} ∪ {3} ∪ [5,9].
+func Parse(s string) (Lifespan, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return Lifespan{}, fmt.Errorf("lifespan: parse %q: want {...}", s)
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	if body == "" {
+		return Empty(), nil
+	}
+	var ivs []chronon.Interval
+	for len(body) > 0 {
+		var tok string
+		if strings.HasPrefix(body, "[") {
+			end := strings.IndexByte(body, ']')
+			if end < 0 {
+				return Lifespan{}, fmt.Errorf("lifespan: parse %q: unterminated interval", s)
+			}
+			tok, body = body[:end+1], body[end+1:]
+		} else {
+			end := strings.IndexByte(body, ',')
+			if end < 0 {
+				tok, body = body, ""
+			} else {
+				tok, body = body[:end], body[end:]
+			}
+		}
+		body = strings.TrimPrefix(strings.TrimSpace(body), ",")
+		body = strings.TrimSpace(body)
+		iv, err := chronon.ParseInterval(strings.TrimSpace(tok))
+		if err != nil {
+			return Lifespan{}, err
+		}
+		ivs = append(ivs, iv)
+	}
+	return fromIntervals(ivs), nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(s string) Lifespan {
+	l, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

@@ -1,0 +1,166 @@
+package rel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func mkScheme(t *testing.T, name string, attrs ...string) *Scheme {
+	t.Helper()
+	doms := make([]value.Domain, len(attrs))
+	for i := range doms {
+		doms[i] = value.Ints
+	}
+	s, err := NewScheme(name, nil, attrs, doms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mkRel(t *testing.T, s *Scheme, rows ...[]int64) *Relation {
+	t.Helper()
+	r := NewRelation(s)
+	for _, row := range rows {
+		tu := make(Tuple, len(row))
+		for i, v := range row {
+			tu[i] = value.Int(v)
+		}
+		r.MustInsert(tu)
+	}
+	return r
+}
+
+func TestSchemeValidation(t *testing.T) {
+	if _, err := NewScheme("R", nil, nil, nil); err == nil {
+		t.Error("no attributes must fail")
+	}
+	if _, err := NewScheme("R", nil, []string{"A"}, nil); err == nil {
+		t.Error("attr/domain count mismatch must fail")
+	}
+	if _, err := NewScheme("R", nil, []string{"A", "A"}, []value.Domain{value.Ints, value.Ints}); err == nil {
+		t.Error("duplicate attribute must fail")
+	}
+	if _, err := NewScheme("R", []string{"Z"}, []string{"A"}, []value.Domain{value.Ints}); err == nil {
+		t.Error("key not in scheme must fail")
+	}
+	if _, err := NewScheme("R", nil, []string{""}, []value.Domain{value.Ints}); err == nil {
+		t.Error("empty attribute name must fail")
+	}
+}
+
+func TestInsertSemantics(t *testing.T) {
+	s := mkScheme(t, "R", "A", "B")
+	r := mkRel(t, s, []int64{1, 2}, []int64{1, 2}, []int64{3, 4})
+	if r.Cardinality() != 2 {
+		t.Errorf("duplicates must be absorbed, got %d", r.Cardinality())
+	}
+	if err := r.Insert(Tuple{value.Int(1)}); err == nil {
+		t.Error("wrong arity must fail")
+	}
+	if err := r.Insert(Tuple{value.Int(1), value.String_("x")}); err == nil {
+		t.Error("wrong domain must fail")
+	}
+	if !r.Contains(Tuple{value.Int(1), value.Int(2)}) {
+		t.Error("Contains misses member")
+	}
+	if r.Contains(Tuple{value.Int(9), value.Int(9)}) {
+		t.Error("Contains finds non-member")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := mkScheme(t, "R", "A", "B")
+	r1 := mkRel(t, s, []int64{1, 1}, []int64{2, 2})
+	r2 := mkRel(t, s, []int64{2, 2}, []int64{3, 3})
+	u, err := Union(r1, r2)
+	if err != nil || u.Cardinality() != 3 {
+		t.Errorf("union = %v, %v", u, err)
+	}
+	i, err := Intersect(r1, r2)
+	if err != nil || i.Cardinality() != 1 || !i.Contains(Tuple{value.Int(2), value.Int(2)}) {
+		t.Errorf("intersect = %v, %v", i, err)
+	}
+	d, err := Diff(r1, r2)
+	if err != nil || d.Cardinality() != 1 || !d.Contains(Tuple{value.Int(1), value.Int(1)}) {
+		t.Errorf("diff = %v, %v", d, err)
+	}
+	other := mkScheme(t, "S", "X")
+	if _, err := Union(r1, mkRel(t, other)); err == nil {
+		t.Error("incompatible union must fail")
+	}
+}
+
+func TestProjectSelect(t *testing.T) {
+	s := mkScheme(t, "R", "A", "B")
+	r := mkRel(t, s, []int64{1, 10}, []int64{2, 10}, []int64{3, 20})
+	p, err := Project(r, "B")
+	if err != nil || p.Cardinality() != 2 {
+		t.Errorf("project dedup failed: %v, %v", p, err)
+	}
+	if _, err := Project(r, "Z"); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	sel, err := Select(r, "B", value.EQ, value.Int(10), "")
+	if err != nil || sel.Cardinality() != 2 {
+		t.Errorf("select = %v, %v", sel, err)
+	}
+	selA, err := Select(r, "A", value.GE, value.Value{}, "B")
+	if err != nil || selA.Cardinality() != 0 {
+		t.Errorf("select A>=B = %v, %v", selA, err)
+	}
+	if _, err := Select(r, "Z", value.EQ, value.Int(0), ""); err == nil {
+		t.Error("unknown attr must fail")
+	}
+}
+
+func TestProductAndJoins(t *testing.T) {
+	s1 := mkScheme(t, "R", "A", "B")
+	s2 := mkScheme(t, "S", "C")
+	r1 := mkRel(t, s1, []int64{1, 2}, []int64{3, 4})
+	r2 := mkRel(t, s2, []int64{2}, []int64{9})
+	p, err := Product(r1, r2)
+	if err != nil || p.Cardinality() != 4 {
+		t.Fatalf("product = %v, %v", p, err)
+	}
+	if _, err := Product(r1, r1); err == nil {
+		t.Error("shared attrs must fail")
+	}
+	j, err := ThetaJoin(r1, r2, "B", value.EQ, "C")
+	if err != nil || j.Cardinality() != 1 {
+		t.Fatalf("theta join = %v, %v", j, err)
+	}
+	// Natural join over shared attribute.
+	s3 := mkScheme(t, "T", "B", "D")
+	r3 := mkRel(t, s3, []int64{2, 100}, []int64{5, 200})
+	nj, err := NaturalJoin(r1, r3)
+	if err != nil || nj.Cardinality() != 1 {
+		t.Fatalf("natural join = %v, %v", nj, err)
+	}
+	nt := nj.Tuples()[0]
+	if len(nt) != 3 {
+		t.Errorf("natural join arity = %d, want 3", len(nt))
+	}
+	if _, err := NaturalJoin(r1, mkRel(t, s2)); err == nil {
+		t.Error("no shared attrs must fail")
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	s := mkScheme(t, "R", "A")
+	a := mkRel(t, s, []int64{1}, []int64{2})
+	b := mkRel(t, s, []int64{2}, []int64{1})
+	if !a.Equal(b) {
+		t.Error("set equality must ignore order")
+	}
+	c := mkRel(t, s, []int64{1})
+	if a.Equal(c) {
+		t.Error("different cardinality must differ")
+	}
+	out := a.String()
+	if !strings.Contains(out, "R(A)") || !strings.Contains(out, "(1)") {
+		t.Errorf("String = %q", out)
+	}
+}

@@ -1,0 +1,429 @@
+// Package schema implements HRDM relation schemes.
+//
+// Paper Section 3: "A relation scheme R = <A,K,ALS,DOM> is an ordered
+// 4-tuple where A ⊆ U is the set of attributes of R, K ⊆ A is the set of
+// key attributes, ALS: A → 2^T assigns a lifespan to each attribute, and
+// DOM: A → HD assigns a domain to each attribute", with the restrictions
+// that key attributes are constant-valued (DOM(Ai) ∈ CD) and each
+// temporal function's domain lies within its attribute's lifespan.
+//
+// Assigning lifespans to attributes is what gives HRDM evolving schemas
+// (paper Figure 6): dropping an attribute at t2 and re-adding it at t3 is
+// recorded as ALS(A) = [t1,t2] ∪ [t3,NOW].
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lifespan"
+	"repro/internal/value"
+)
+
+// Attribute describes one attribute of a relation scheme: its name, its
+// value domain (the D_i its temporal functions map into, or T for
+// time-valued attributes), the lifespan ALS(A,R) over which the schema
+// defines it, and the interpolation discipline used to complete
+// representation-level values (paper Figure 9; "discrete", "step" or
+// "linear" — see tfunc.ByName).
+type Attribute struct {
+	Name string
+	// Domain is the underlying value-domain VD(A). A Domain of kind
+	// value.KindTime makes this a time-valued attribute (DOM(A) ⊆ TT),
+	// eligible for dynamic TIME-SLICE and TIME-JOIN.
+	Domain value.Domain
+	// Lifespan is ALS(A,R). The zero lifespan is invalid in a scheme; use
+	// lifespan.All() for attributes defined at all times.
+	Lifespan lifespan.Lifespan
+	// Interp names the interpolation function for the attribute's values
+	// ("discrete", "step", "linear"); empty means "discrete".
+	Interp string
+}
+
+// TimeValued reports whether the attribute draws its values from T, i.e.
+// DOM(A) ⊆ TT.
+func (a Attribute) TimeValued() bool { return a.Domain.Kind == value.KindTime }
+
+// Scheme is a relation scheme R = ⟨A, K, ALS, DOM⟩. A and the ALS/DOM
+// assignments are folded into the ordered Attrs slice; Key lists the
+// names in K. Attribute order is definition order and is preserved by
+// the algebra so printed relations are stable.
+type Scheme struct {
+	Name  string
+	Attrs []Attribute
+	Key   []string
+}
+
+// New validates and returns a scheme. It enforces the paper's structural
+// conditions:
+//
+//  1. attribute names are unique and non-empty;
+//  2. K ⊆ A;
+//  3. K is non-empty (a relation is a set of tuples distinguished by key
+//     values at every pair of times, so a key must exist);
+//  4. no attribute lifespan is empty;
+//  5. the key attributes' lifespans equal the scheme lifespan — the
+//     paper's constraint "the lifespan of the key attributes must be the
+//     same as the lifespan of the entire relation schema".
+func New(name string, key []string, attrs ...Attribute) (*Scheme, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: empty scheme name")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("schema: scheme %s has no attributes", name)
+	}
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("schema: scheme %s has an unnamed attribute", name)
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("schema: scheme %s: duplicate attribute %s", name, a.Name)
+		}
+		seen[a.Name] = true
+		if a.Lifespan.IsEmpty() {
+			return nil, fmt.Errorf("schema: scheme %s: attribute %s has empty lifespan", name, a.Name)
+		}
+		if a.Interp != "" && a.Interp != "discrete" && a.Interp != "step" && a.Interp != "linear" {
+			return nil, fmt.Errorf("schema: scheme %s: attribute %s: unknown interpolation %q", name, a.Name, a.Interp)
+		}
+	}
+	if len(key) == 0 {
+		return nil, fmt.Errorf("schema: scheme %s has no key", name)
+	}
+	for _, k := range key {
+		if !seen[k] {
+			return nil, fmt.Errorf("schema: scheme %s: key attribute %s not in scheme", name, k)
+		}
+	}
+	s := &Scheme{Name: name, Attrs: attrs, Key: append([]string(nil), key...)}
+	ls := s.Lifespan()
+	for _, k := range key {
+		ka, _ := s.Attr(k)
+		if !ka.Lifespan.Equal(ls) {
+			return nil, fmt.Errorf("schema: scheme %s: key attribute %s lifespan %v differs from scheme lifespan %v",
+				name, k, ka.Lifespan, ls)
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error; for tests and examples.
+func MustNew(name string, key []string, attrs ...Attribute) *Scheme {
+	s, err := New(name, key, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Attr returns the named attribute.
+func (s *Scheme) Attr(name string) (Attribute, bool) {
+	for _, a := range s.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// HasAttr reports whether the scheme defines the named attribute.
+func (s *Scheme) HasAttr(name string) bool {
+	_, ok := s.Attr(name)
+	return ok
+}
+
+// AttrNames returns the attribute names in scheme order.
+func (s *Scheme) AttrNames() []string {
+	out := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// IsKey reports whether the named attribute belongs to K.
+func (s *Scheme) IsKey(name string) bool {
+	for _, k := range s.Key {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ALS returns the attribute lifespan ALS(A,R). Unknown attributes yield
+// the empty lifespan.
+func (s *Scheme) ALS(name string) lifespan.Lifespan {
+	a, ok := s.Attr(name)
+	if !ok {
+		return lifespan.Empty()
+	}
+	return a.Lifespan
+}
+
+// Lifespan returns the scheme lifespan: "the lifespan of the relation
+// schema [is] the union of the lifespans of all of the attributes in the
+// schema" (paper Section 2).
+func (s *Scheme) Lifespan() lifespan.Lifespan {
+	ls := lifespan.Empty()
+	for _, a := range s.Attrs {
+		ls = ls.Union(a.Lifespan)
+	}
+	return ls
+}
+
+// SameAttrs reports A1 = A2 with identical domains — the paper's
+// union-compatibility ("they have the same attributes, with the same
+// domains"). Attribute order is immaterial.
+func (s *Scheme) SameAttrs(o *Scheme) bool {
+	if len(s.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for _, a := range s.Attrs {
+		b, ok := o.Attr(a.Name)
+		if !ok || b.Domain != a.Domain {
+			return false
+		}
+	}
+	return true
+}
+
+// SameKey reports K1 = K2 as sets.
+func (s *Scheme) SameKey(o *Scheme) bool {
+	if len(s.Key) != len(o.Key) {
+		return false
+	}
+	k1 := append([]string(nil), s.Key...)
+	k2 := append([]string(nil), o.Key...)
+	sort.Strings(k1)
+	sort.Strings(k2)
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionCompatible reports the paper's union-compatibility: same
+// attributes with the same domains.
+func (s *Scheme) UnionCompatible(o *Scheme) bool { return s.SameAttrs(o) }
+
+// MergeCompatible reports the paper's merge-compatibility, "stricter than
+// union-compatibility, by requiring the same key": A1 = A2, K1 = K2, and
+// DOM1 = DOM2.
+func (s *Scheme) MergeCompatible(o *Scheme) bool {
+	return s.SameAttrs(o) && s.SameKey(o)
+}
+
+// DisjointAttrs reports whether the two schemes share no attribute names
+// (the precondition of the Cartesian product).
+func (s *Scheme) DisjointAttrs(o *Scheme) bool {
+	for _, a := range s.Attrs {
+		if o.HasAttr(a.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// CommonAttrs returns X = A1 ∩ A2 in s's attribute order (used by
+// NATURAL-JOIN).
+func (s *Scheme) CommonAttrs(o *Scheme) []string {
+	var out []string
+	for _, a := range s.Attrs {
+		if o.HasAttr(a.Name) {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// combineALS merges the ALS assignments of two schemes using f on
+// attributes present in both; attributes present in only one keep their
+// lifespan.
+func combineALS(a, b *Scheme, f func(x, y lifespan.Lifespan) lifespan.Lifespan) map[string]lifespan.Lifespan {
+	out := make(map[string]lifespan.Lifespan, len(a.Attrs)+len(b.Attrs))
+	for _, at := range a.Attrs {
+		out[at.Name] = at.Lifespan
+	}
+	for _, bt := range b.Attrs {
+		if x, ok := out[bt.Name]; ok {
+			out[bt.Name] = f(x, bt.Lifespan)
+		} else {
+			out[bt.Name] = bt.Lifespan
+		}
+	}
+	return out
+}
+
+// UnionScheme builds the result scheme of the union operators: per the
+// paper, R3 = <A1, K1, ALS1 ∪ ALS2, DOM1>.
+func UnionScheme(a, b *Scheme, name string) (*Scheme, error) {
+	if !a.UnionCompatible(b) {
+		return nil, fmt.Errorf("schema: %s and %s are not union-compatible", a.Name, b.Name)
+	}
+	als := combineALS(a, b, lifespan.Lifespan.Union)
+	attrs := make([]Attribute, len(a.Attrs))
+	for i, at := range a.Attrs {
+		at.Lifespan = als[at.Name]
+		attrs[i] = at
+	}
+	return New(name, a.Key, attrs...)
+}
+
+// IntersectScheme builds the result scheme of the intersection operators:
+// R3 = <A1, K1, ALS1 ∩ ALS2, DOM1>. The intersection of the ALS
+// assignments can empty an attribute's lifespan, which the paper's
+// structural conditions forbid; that case is an error reported to the
+// caller ("the schemas never coexist").
+func IntersectScheme(a, b *Scheme, name string) (*Scheme, error) {
+	if !a.UnionCompatible(b) {
+		return nil, fmt.Errorf("schema: %s and %s are not union-compatible", a.Name, b.Name)
+	}
+	als := combineALS(a, b, lifespan.Lifespan.Intersect)
+	attrs := make([]Attribute, len(a.Attrs))
+	for i, at := range a.Attrs {
+		at.Lifespan = als[at.Name]
+		attrs[i] = at
+	}
+	return New(name, a.Key, attrs...)
+}
+
+// ProjectScheme builds the scheme for π_X(r). Every name in x must be a
+// scheme attribute. The projection keys on x itself: projection does not
+// preserve the original key in general, and the paper's relation
+// condition (key-disjointness of tuples) is then enforced with respect
+// to all remaining attributes, mirroring duplicate elimination in the
+// snapshot model.
+func ProjectScheme(s *Scheme, x []string, name string) (*Scheme, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("schema: projection onto no attributes")
+	}
+	attrs := make([]Attribute, 0, len(x))
+	for _, n := range x {
+		a, ok := s.Attr(n)
+		if !ok {
+			return nil, fmt.Errorf("schema: projection attribute %s not in scheme %s", n, s.Name)
+		}
+		attrs = append(attrs, a)
+	}
+	// Keep original key attributes that survive the projection; if none
+	// survive, key on all projected attributes.
+	var key []string
+	for _, k := range s.Key {
+		for _, n := range x {
+			if n == k {
+				key = append(key, k)
+			}
+		}
+	}
+	if len(key) != len(s.Key) {
+		key = append([]string(nil), x...)
+	}
+	// Key lifespans must equal the new scheme lifespan; widen key
+	// attribute lifespans if the projection dropped wider attributes.
+	ls := lifespan.Empty()
+	for _, a := range attrs {
+		ls = ls.Union(a.Lifespan)
+	}
+	for i := range attrs {
+		for _, k := range key {
+			if attrs[i].Name == k {
+				attrs[i].Lifespan = ls
+			}
+		}
+	}
+	return New(name, key, attrs...)
+}
+
+// ConcatScheme builds the result scheme of the Cartesian product and the
+// joins: "R3 = <A1 ∪ A2, K1 ∪ K2, ALS1 ∪ ALS2, DOM1 ∪ DOM2>". For the
+// product and θ-join the attribute sets must be disjoint; NATURAL-JOIN
+// passes shared = CommonAttrs, whose lifespans combine by union.
+func ConcatScheme(a, b *Scheme, name string) (*Scheme, error) {
+	attrs := make([]Attribute, 0, len(a.Attrs)+len(b.Attrs))
+	attrs = append(attrs, a.Attrs...)
+	for _, bt := range b.Attrs {
+		if i := indexAttr(attrs, bt.Name); i >= 0 {
+			if attrs[i].Domain != bt.Domain {
+				return nil, fmt.Errorf("schema: shared attribute %s has conflicting domains", bt.Name)
+			}
+			attrs[i].Lifespan = attrs[i].Lifespan.Union(bt.Lifespan)
+			continue
+		}
+		attrs = append(attrs, bt)
+	}
+	key := append([]string(nil), a.Key...)
+	for _, k := range b.Key {
+		dup := false
+		for _, k1 := range key {
+			if k1 == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			key = append(key, k)
+		}
+	}
+	// The combined key lifespans must equal the combined scheme lifespan.
+	ls := lifespan.Empty()
+	for _, at := range attrs {
+		ls = ls.Union(at.Lifespan)
+	}
+	for i := range attrs {
+		for _, k := range key {
+			if attrs[i].Name == k {
+				attrs[i].Lifespan = ls
+			}
+		}
+	}
+	return New(name, key, attrs...)
+}
+
+func indexAttr(attrs []Attribute, name string) int {
+	for i, a := range attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rename returns a copy of the scheme with every attribute prefixed
+// "prefix.", preserving key membership. Used to disambiguate before
+// products/θ-joins of relations sharing attribute names.
+func (s *Scheme) Rename(prefix, name string) (*Scheme, error) {
+	attrs := make([]Attribute, len(s.Attrs))
+	for i, a := range s.Attrs {
+		a.Name = prefix + "." + a.Name
+		attrs[i] = a
+	}
+	key := make([]string, len(s.Key))
+	for i, k := range s.Key {
+		key[i] = prefix + "." + k
+	}
+	return New(name, key, attrs...)
+}
+
+// String renders the scheme header, e.g.
+// "EMP(NAME* strings {[0,49]}, SAL integers step {[0,49]})", where * marks
+// key attributes.
+func (s *Scheme) String() string {
+	parts := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		star := ""
+		if s.IsKey(a.Name) {
+			star = "*"
+		}
+		interp := a.Interp
+		if interp == "" {
+			interp = "discrete"
+		}
+		parts[i] = fmt.Sprintf("%s%s %s %s %s", a.Name, star, a.Domain.Name, interp, a.Lifespan)
+	}
+	return fmt.Sprintf("%s(%s)", s.Name, strings.Join(parts, ", "))
+}

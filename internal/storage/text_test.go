@@ -1,0 +1,144 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+const sampleText = `
+# The paper's running example.
+relation EMP key NAME
+  attr NAME string {[0,99]}
+  attr SAL int {[0,99]} step
+  attr DEPT string {[0,99]} step
+tuple {[0,9]}
+  NAME = "John" @ {[0,9]}
+  SAL = 30000 @ {[0,4]}
+  SAL = 34000 @ {[5,9]}
+  DEPT = "Toys" @ {[0,9]}
+tuple {[0,3],[8,14]}
+  NAME = "Ahmed" @ {[0,3],[8,14]}
+  SAL = 30000 @ {[0,3]}
+  SAL = 31000 @ {[8,14]}
+  DEPT = "Toys" @ {[0,3],[8,14]}
+
+relation SHIP key ID
+  attr ID int {[0,99]}
+  attr SHIPDATE time {[0,99]}
+tuple {[0,19]}
+  ID = 1 @ {[0,19]}
+  SHIPDATE = @7 @ {[0,19]}
+`
+
+func TestParseText(t *testing.T) {
+	st, err := ParseText(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Names(); len(got) != 2 || got[0] != "EMP" || got[1] != "SHIP" {
+		t.Fatalf("Names = %v", got)
+	}
+	emp, _ := st.Get("EMP")
+	if emp.Cardinality() != 2 {
+		t.Fatalf("EMP cardinality = %d", emp.Cardinality())
+	}
+	john, ok := emp.Lookup(`"John"`)
+	if !ok {
+		t.Fatal("John missing")
+	}
+	if v, _ := john.At("SAL", 7); v.AsInt() != 34000 {
+		t.Error("John's raise lost")
+	}
+	ahmed, _ := emp.Lookup(`"Ahmed"`)
+	if ahmed.Lifespan().NumIntervals() != 2 {
+		t.Error("Ahmed's gapped lifespan lost")
+	}
+	sal, _ := emp.Scheme().Attr("SAL")
+	if sal.Interp != "step" || sal.Domain != value.Ints {
+		t.Errorf("SAL attribute metadata: %+v", sal)
+	}
+	ship, _ := st.Get("SHIP")
+	tp := ship.Tuples()[0]
+	if v, _ := tp.At("SHIPDATE", 3); v.AsTime() != 7 {
+		t.Error("time-valued attribute lost")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	st, err := ParseText(strings.NewReader(sampleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := DumpText(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\ndump was:\n%s", err, buf.String())
+	}
+	for _, name := range st.Names() {
+		orig, _ := st.Get(name)
+		re, ok := back.Get(name)
+		if !ok || !re.Equal(orig) {
+			t.Errorf("round trip changed %s:\n%s\nvs\n%s", name, re, orig)
+		}
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []struct {
+		name, in, frag string
+	}{
+		{"bad relation", "relation EMP\n", "want: relation"},
+		{"attr after tuple", "relation R key K\nattr K string {[0,9]}\ntuple {[0,9]}\nK = \"a\" @ {[0,9]}\nattr X int {[0,9]}\n", "tuples began"},
+		{"tuple before relation", "tuple {[0,9]}\n", "before any relation"},
+		{"bad lifespan", "relation R key K\nattr K string [0,9]\n", "lifespan"},
+		{"unknown domain", "relation R key K\nattr K blob {[0,9]}\n", "unknown domain"},
+		{"unknown attr", "relation R key K\nattr K string {[0,9]}\ntuple {[0,9]}\nX = 1 @ {[0,9]}\n", "unknown attribute"},
+		{"bad assignment", "relation R key K\nattr K string {[0,9]}\ntuple {[0,9]}\nK \"a\" {[0,9]}\n", "want: ATTR"},
+		{"bad int", "relation R key K\nattr K int {[0,9]}\ntuple {[0,9]}\nK = xyz @ {[0,9]}\n", "bad int"},
+		{"bad string", "relation R key K\nattr K string {[0,9]}\ntuple {[0,9]}\nK = noquotes @ {[0,9]}\n", "bad string"},
+		{"bad bool", "relation R key K\nattr K bool {[0,9]}\ntuple {[0,9]}\nK = maybe @ {[0,9]}\n", "bad bool"},
+		{"key not covering", "relation R key K\nattr K string {[0,9]}\ntuple {[0,9]}\nK = \"a\" @ {[0,3]}\n", "key attribute"},
+		{"duplicate key", "relation R key K\nattr K string {[0,9]}\ntuple {[0,3]}\nK = \"a\" @ {[0,3]}\ntuple {[5,9]}\nK = \"a\" @ {[5,9]}\n", "duplicate key"},
+		{"assignment outside tuple", "relation R key K\nattr K string {[0,9]}\nK = \"a\" @ {[0,9]}\n", "outside a tuple"},
+	}
+	for _, c := range cases {
+		_, err := ParseText(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestParseTextEmptyRelation(t *testing.T) {
+	st, err := ParseText(strings.NewReader("relation R key K\nattr K string {[0,9]}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := st.Get("R")
+	if !ok || r.Cardinality() != 0 {
+		t.Errorf("empty relation should exist with zero tuples: %v", r)
+	}
+}
+
+func TestSplitFields(t *testing.T) {
+	got := splitFields(`NAME = "two words" @ {[0,3],[5,9]}`)
+	want := []string{"NAME", "=", `"two words"`, "@", "{[0,3],[5,9]}"}
+	if len(got) != len(want) {
+		t.Fatalf("fields = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("field %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

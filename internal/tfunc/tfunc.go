@@ -1,0 +1,323 @@
+// Package tfunc implements the temporal functions of HRDM.
+//
+// Paper Section 3 defines two families of partial functions over the time
+// domain T: TD_i = {f | f : T → D_i}, the partial functions into each
+// value domain, and TT = {g | g : T → T}, the partial functions from T
+// into itself (backing time-valued attributes). A Func here is one such
+// partial function.
+//
+// Functions are stored at the paper's *representation level*: a sorted
+// list of (interval, value) steps, so that a salary constant over [1,100]
+// costs one entry rather than one hundred. The *model level* view — a
+// total function on its definition lifespan — is recovered through At and,
+// for partially-represented functions, through an interpolation function I
+// (paper Figure 9 and the surrounding discussion).
+package tfunc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/chronon"
+	"repro/internal/lifespan"
+	"repro/internal/value"
+)
+
+// step is one maximal constant piece of the function: every t in Iv maps
+// to V.
+type step struct {
+	Iv chronon.Interval
+	V  value.Value
+}
+
+// Func is a partial function from T into a value domain, in canonical
+// interval-coalesced form: steps are sorted, non-empty, non-overlapping,
+// and adjacent steps with equal values are merged. The zero Func is the
+// nowhere-defined function. Funcs are immutable.
+type Func struct {
+	steps []step
+}
+
+// Builder accumulates (time, value) assignments and produces a canonical
+// Func. Later assignments to the same chronon overwrite earlier ones,
+// which gives update semantics for history construction.
+type Builder struct {
+	steps []step
+}
+
+// Set assigns f(t) = v for every t in [lo,hi].
+func (b *Builder) Set(lo, hi chronon.Time, v value.Value) *Builder {
+	if !v.IsValid() {
+		panic("tfunc: Set with invalid value")
+	}
+	iv := chronon.NewInterval(lo, hi)
+	if iv.IsEmpty() {
+		return b
+	}
+	b.steps = append(b.steps, step{Iv: iv, V: v})
+	return b
+}
+
+// SetAt assigns f(t) = v at the single chronon t.
+func (b *Builder) SetAt(t chronon.Time, v value.Value) *Builder {
+	return b.Set(t, t, v)
+}
+
+// Build canonicalizes the accumulated assignments. Later Set calls win
+// where ranges overlap.
+func (b *Builder) Build() Func {
+	if len(b.steps) == 0 {
+		return Func{}
+	}
+	// Apply assignments in order: each later step erases the overlapping
+	// part of earlier ones. We process by layering: start from the first
+	// and punch holes for subsequent ones.
+	var acc []step
+	for _, s := range b.steps {
+		var next []step
+		for _, old := range acc {
+			if !old.Iv.Overlaps(s.Iv) {
+				next = append(next, old)
+				continue
+			}
+			// Keep the non-overlapped fragments of old.
+			if old.Iv.Lo < s.Iv.Lo {
+				next = append(next, step{Iv: chronon.NewInterval(old.Iv.Lo, s.Iv.Lo.Prev()), V: old.V})
+			}
+			if old.Iv.Hi > s.Iv.Hi {
+				next = append(next, step{Iv: chronon.NewInterval(s.Iv.Hi.Next(), old.Iv.Hi), V: old.V})
+			}
+		}
+		next = append(next, s)
+		acc = next
+	}
+	return canonical(acc)
+}
+
+// canonical sorts, validates disjointness and merges equal-valued
+// adjacent steps.
+func canonical(ss []step) Func {
+	if len(ss) == 0 {
+		return Func{}
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Iv.Lo < ss[j].Iv.Lo })
+	out := make([]step, 0, len(ss))
+	out = append(out, ss[0])
+	for _, s := range ss[1:] {
+		last := &out[len(out)-1]
+		if s.Iv.Lo <= last.Iv.Hi {
+			panic(fmt.Sprintf("tfunc: overlapping steps %v and %v", last.Iv, s.Iv))
+		}
+		if last.Iv.Adjacent(s.Iv) && last.V.Equal(s.V) && last.V.Kind() == s.V.Kind() {
+			last.Iv.Hi = s.Iv.Hi
+			continue
+		}
+		out = append(out, s)
+	}
+	return Func{steps: out}
+}
+
+// Constant returns the function mapping every chronon of ls to v — a
+// member of the paper's CD (constant-valued functions), as required for
+// key attributes.
+func Constant(ls lifespan.Lifespan, v value.Value) Func {
+	if !v.IsValid() {
+		panic("tfunc: Constant with invalid value")
+	}
+	ivs := ls.Intervals()
+	ss := make([]step, len(ivs))
+	for i, iv := range ivs {
+		ss[i] = step{Iv: iv, V: v}
+	}
+	return Func{steps: ss}
+}
+
+// At evaluates the function at t. The second result reports whether the
+// function is defined there; per the paper, "undefined means that the
+// attribute is not relevant at such times, and thus does not exist".
+func (f Func) At(t chronon.Time) (value.Value, bool) {
+	i := sort.Search(len(f.steps), func(i int) bool { return f.steps[i].Iv.Hi >= t })
+	if i < len(f.steps) && f.steps[i].Iv.Contains(t) {
+		return f.steps[i].V, true
+	}
+	return value.Value{}, false
+}
+
+// Domain returns the definition lifespan of the partial function — the
+// set of chronons where it is defined.
+func (f Func) Domain() lifespan.Lifespan {
+	ivs := make([]chronon.Interval, len(f.steps))
+	for i, s := range f.steps {
+		ivs[i] = s.Iv
+	}
+	return lifespan.New(ivs...)
+}
+
+// IsNowhereDefined reports whether the function has empty domain.
+func (f Func) IsNowhereDefined() bool { return len(f.steps) == 0 }
+
+// NumSteps returns the number of maximal constant pieces — the
+// representation-level size of the function, and the quantity the
+// storage experiments (E10) count.
+func (f Func) NumSteps() int { return len(f.steps) }
+
+// Restrict returns f|L, the restriction of f to the lifespan L (paper
+// Section 3: "we will denote this restricted function by f|D'"). The
+// result is defined on Domain(f) ∩ L.
+func (f Func) Restrict(l lifespan.Lifespan) Func {
+	if f.IsNowhereDefined() || l.IsEmpty() {
+		return Func{}
+	}
+	var out []step
+	ivs := l.Intervals()
+	j := 0
+	for _, s := range f.steps {
+		for j < len(ivs) && ivs[j].Hi < s.Iv.Lo {
+			j++
+		}
+		for k := j; k < len(ivs) && ivs[k].Lo <= s.Iv.Hi; k++ {
+			iv := s.Iv.Intersect(ivs[k])
+			if !iv.IsEmpty() {
+				out = append(out, step{Iv: iv, V: s.V})
+			}
+		}
+	}
+	return canonical(out)
+}
+
+// Merge returns the union t1.v(A) ∪ t2.v(A) of two compatible partial
+// functions, as used by the tuple merge operation (t1 + t2). The two
+// functions must agree wherever both are defined; Merge reports an error
+// otherwise (the paper's mergability condition 3).
+func (f Func) Merge(g Func) (Func, error) {
+	if f.IsNowhereDefined() {
+		return g, nil
+	}
+	if g.IsNowhereDefined() {
+		return f, nil
+	}
+	shared := f.Domain().Intersect(g.Domain())
+	if !shared.IsEmpty() {
+		// Verify pointwise agreement on the shared domain, stepwise.
+		fr := f.Restrict(shared)
+		gr := g.Restrict(shared)
+		if !fr.Equal(gr) {
+			return Func{}, fmt.Errorf("tfunc: functions contradict on %v", shared)
+		}
+	}
+	// Build: g over f on g's domain, then f elsewhere. Since they agree on
+	// the overlap, layering is safe.
+	var b Builder
+	for _, s := range f.steps {
+		b.steps = append(b.steps, s)
+	}
+	for _, s := range g.steps {
+		b.steps = append(b.steps, s)
+	}
+	return b.Build(), nil
+}
+
+// Equal reports extensional equality: same domain and same value at every
+// chronon. Canonical form makes this a structural comparison.
+func (f Func) Equal(g Func) bool {
+	if len(f.steps) != len(g.steps) {
+		return false
+	}
+	for i := range f.steps {
+		if !f.steps[i].Iv.Equal(g.steps[i].Iv) {
+			return false
+		}
+		a, b := f.steps[i].V, g.steps[i].V
+		if a.Kind() != b.Kind() || !a.Equal(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConstant reports whether f belongs to CD — "functions having a
+// constant image", i.e. the same value at every chronon of the domain.
+// The nowhere-defined function is vacuously constant.
+func (f Func) IsConstant() bool {
+	for i := 1; i < len(f.steps); i++ {
+		if !f.steps[i].V.Equal(f.steps[0].V) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConstantValue returns the single value of a constant function. The
+// second result is false for the nowhere-defined function. Panics if f is
+// not constant.
+func (f Func) ConstantValue() (value.Value, bool) {
+	if !f.IsConstant() {
+		panic("tfunc: ConstantValue on non-constant function")
+	}
+	if len(f.steps) == 0 {
+		return value.Value{}, false
+	}
+	return f.steps[0].V, true
+}
+
+// Image returns the set of distinct values the function takes, in first-
+// occurrence order. For a TT function this is "the set of times that
+// t(A) maps to", which defines the dynamic TIME-SLICE.
+func (f Func) Image() []value.Value {
+	var out []value.Value
+	for _, s := range f.steps {
+		dup := false
+		for _, v := range out {
+			if v.Equal(s.V) && v.Kind() == s.V.Kind() {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s.V)
+		}
+	}
+	return out
+}
+
+// TimeImage returns the image of a time-valued (TT) function as a
+// lifespan — the parameter set of dynamic TIME-SLICE and TIME-JOIN. It
+// errors if any value in the image is not a time.
+func (f Func) TimeImage() (lifespan.Lifespan, error) {
+	var ivs []chronon.Interval
+	for _, s := range f.steps {
+		if s.V.Kind() != value.KindTime {
+			return lifespan.Lifespan{}, fmt.Errorf("tfunc: TimeImage on %s-valued function", s.V.Kind())
+		}
+		ivs = append(ivs, chronon.Point(s.V.AsTime()))
+	}
+	return lifespan.New(ivs...), nil
+}
+
+// Steps calls fn for each maximal constant piece in ascending order.
+func (f Func) Steps(fn func(iv chronon.Interval, v value.Value) bool) {
+	for _, s := range f.steps {
+		if !fn(s.Iv, s.V) {
+			return
+		}
+	}
+}
+
+// String renders the representation-level form, e.g.
+// "{[1,5]→30000, [6,9]→34000}". Constant functions render as the paper's
+// <lifespan,value> pair suggestion, e.g. "<{[1,9]},Codd>".
+func (f Func) String() string {
+	if f.IsNowhereDefined() {
+		return "{}"
+	}
+	if f.IsConstant() && len(f.steps) > 0 {
+		v, _ := f.ConstantValue()
+		return fmt.Sprintf("<%s,%s>", f.Domain(), v)
+	}
+	parts := make([]string, len(f.steps))
+	for i, s := range f.steps {
+		parts[i] = fmt.Sprintf("%s→%s", s.Iv, s.V)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,121 @@
+package tuplestamp
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/lifespan"
+	"repro/internal/value"
+)
+
+func empTS(t *testing.T) *Relation {
+	t.Helper()
+	s := &Scheme{
+		Name:   "EMP",
+		Attrs:  []string{"NAME", "SAL", "DEPT"},
+		Doms:   []value.Domain{value.Strings, value.Ints, value.Strings},
+		NumKey: 1,
+	}
+	r := NewRelation(s)
+	app := func(from, to int64, name string, sal int64, dept string) {
+		t.Helper()
+		if err := r.Append(chronon.Time(from), chronon.Time(to), []value.Value{value.String_(name), value.Int(sal), value.String_(dept)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app(0, 4, "John", 30000, "Toys")
+	app(5, 9, "John", 34000, "Toys")
+	app(0, 3, "Ahmed", 30000, "Toys")
+	app(8, 14, "Ahmed", 31000, "Books")
+	return r
+}
+
+func TestAppendValidation(t *testing.T) {
+	r := empTS(t)
+	if err := r.Append(1, 2, []value.Value{value.String_("X")}); err == nil {
+		t.Error("wrong arity must fail")
+	}
+	if err := r.Append(5, 2, mkVals("X", 1, "D")); err == nil {
+		t.Error("inverted interval must fail")
+	}
+	// Overlap with existing version of same key.
+	if err := r.Append(3, 6, mkVals("John", 1, "D")); err == nil {
+		t.Error("overlapping version must fail")
+	}
+	// Out-of-order append into a gap is fine.
+	if err := r.Append(5, 6, mkVals("Ahmed", 99, "D")); err != nil {
+		t.Errorf("gap append should succeed: %v", err)
+	}
+	hist := r.KeyHistory(value.String_(`Ahmed`))
+	if len(hist) != 3 || hist[1].From != 5 {
+		t.Errorf("versions must stay sorted: %v", hist)
+	}
+}
+
+func TestKeyHistoryAndLifespan(t *testing.T) {
+	r := empTS(t)
+	hist := r.KeyHistory(value.String_("John"))
+	if len(hist) != 2 {
+		t.Fatalf("John versions = %d, want 2", len(hist))
+	}
+	if hist[0].Vals[1].AsInt() != 30000 || hist[1].Vals[1].AsInt() != 34000 {
+		t.Error("version values wrong")
+	}
+	ls := r.Lifespan(value.String_("Ahmed"))
+	if !ls.Equal(lifespan.MustParse("{[0,3],[8,14]}")) {
+		t.Errorf("Ahmed lifespan = %v", ls)
+	}
+	if r.KeyHistory(value.String_("Nobody")) != nil {
+		t.Error("unknown key yields nil")
+	}
+}
+
+func TestSnapshotAt(t *testing.T) {
+	r := empTS(t)
+	if got := len(r.SnapshotAt(2)); got != 2 {
+		t.Errorf("snapshot@2 = %d, want 2", got)
+	}
+	if got := len(r.SnapshotAt(6)); got != 1 {
+		t.Errorf("snapshot@6 = %d, want 1", got)
+	}
+	if got := len(r.SnapshotAt(99)); got != 0 {
+		t.Errorf("snapshot@99 = %d, want 0", got)
+	}
+}
+
+func TestWhen(t *testing.T) {
+	r := empTS(t)
+	ls, err := r.When("SAL", value.EQ, value.Int(30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ls.Equal(lifespan.MustParse("{[0,4]}")) {
+		t.Errorf("when = %v", ls)
+	}
+	if _, err := r.When("NOPE", value.EQ, value.Int(0)); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	r := empTS(t)
+	if r.NumObjects() != 2 || r.NumVersions() != 4 {
+		t.Errorf("objects=%d versions=%d", r.NumObjects(), r.NumVersions())
+	}
+	if r.SizeBytes() <= 0 {
+		t.Error("size must be positive")
+	}
+	// Version count grows with changes, not with history length: a long
+	// quiet version costs the same as a short one.
+	long := NewRelation(r.Scheme())
+	_ = long.Append(0, 1000000, mkVals("Quiet", 1, "D"))
+	short := NewRelation(r.Scheme())
+	_ = short.Append(0, 1, mkVals("Quiet", 1, "D"))
+	if long.SizeBytes() != short.SizeBytes() {
+		t.Error("interval length must not affect version size")
+	}
+}
+
+func mkVals(name string, sal int64, dept string) []value.Value {
+	return []value.Value{value.String_(name), value.Int(sal), value.String_(dept)}
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/tuplestamp"
+	"repro/internal/value"
+)
+
+// ToCube materializes an HRDM relation as the 3-D cube representation:
+// one row per (object, chronon) over the relation's clock, with
+// EXISTS? = false in lifespan gaps. Tuples with an undefined non-key
+// value at an alive chronon are recorded with the zero value of the
+// domain (the cube has no per-attribute lifespans — precisely the
+// flexibility it lacks).
+func ToCube(r *core.Relation, clock chronon.Interval) (*cube.Relation, error) {
+	hs := r.Scheme()
+	s := &cube.Scheme{Name: hs.Name, NumKey: len(hs.Key)}
+	// Key attributes first (cube keys are leading columns).
+	var order []string
+	for _, k := range hs.Key {
+		order = append(order, k)
+	}
+	for _, a := range hs.Attrs {
+		if !hs.IsKey(a.Name) {
+			order = append(order, a.Name)
+		}
+	}
+	for _, n := range order {
+		a, _ := hs.Attr(n)
+		s.Attrs = append(s.Attrs, a.Name)
+		s.Doms = append(s.Doms, a.Domain)
+	}
+	out := cube.NewRelation(s, clock)
+	for _, t := range r.Tuples() {
+		var err error
+		t.Lifespan().Each(func(tm chronon.Time) bool {
+			if !clock.Contains(tm) {
+				err = fmt.Errorf("workload: tuple alive at %v outside clock %v", tm, clock)
+				return false
+			}
+			vals := make([]value.Value, len(order))
+			for i, n := range order {
+				v, ok := t.At(n, tm)
+				if !ok {
+					v = zeroOf(s.Doms[i])
+				}
+				vals[i] = v
+			}
+			err = out.RecordState(tm, vals)
+			return err == nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ToTupleStamp materializes an HRDM relation as tuple-timestamped
+// versions: for each tuple, its lifespan is partitioned into maximal
+// intervals on which every attribute is constant, and each piece becomes
+// one full-width version — the per-change redundancy of the
+// representation.
+func ToTupleStamp(r *core.Relation) (*tuplestamp.Relation, error) {
+	hs := r.Scheme()
+	s := &tuplestamp.Scheme{Name: hs.Name, NumKey: len(hs.Key)}
+	var order []string
+	for _, k := range hs.Key {
+		order = append(order, k)
+	}
+	for _, a := range hs.Attrs {
+		if !hs.IsKey(a.Name) {
+			order = append(order, a.Name)
+		}
+	}
+	for _, n := range order {
+		a, _ := hs.Attr(n)
+		s.Attrs = append(s.Attrs, a.Name)
+		s.Doms = append(s.Doms, a.Domain)
+	}
+	out := tuplestamp.NewRelation(s)
+	for _, t := range r.Tuples() {
+		// Change points: starts of every attribute's steps plus lifespan
+		// interval starts.
+		breaks := map[chronon.Time]bool{}
+		for _, iv := range t.Lifespan().Intervals() {
+			breaks[iv.Lo] = true
+		}
+		for _, n := range order {
+			t.Value(n).Steps(func(iv chronon.Interval, _ value.Value) bool {
+				breaks[iv.Lo] = true
+				return true
+			})
+		}
+		for _, iv := range t.Lifespan().Intervals() {
+			from := iv.Lo
+			for from <= iv.Hi {
+				// Find the next break strictly after from within iv.
+				to := iv.Hi
+				for b := range breaks {
+					if b > from && b <= to {
+						to = b - 1
+					}
+				}
+				vals := make([]value.Value, len(order))
+				for i, n := range order {
+					v, ok := t.At(n, from)
+					if !ok {
+						v = zeroOf(s.Doms[i])
+					}
+					vals[i] = v
+				}
+				if err := out.Append(from, to, vals); err != nil {
+					return nil, err
+				}
+				from = to + 1
+			}
+		}
+	}
+	return out, nil
+}
+
+func zeroOf(d value.Domain) value.Value {
+	switch d.Kind {
+	case value.KindInt:
+		return value.Int(0)
+	case value.KindFloat:
+		return value.Float(0)
+	case value.KindString:
+		return value.String_("")
+	case value.KindBool:
+		return value.Bool(false)
+	case value.KindTime:
+		return value.TimeVal(0)
+	}
+	return value.Int(0)
+}

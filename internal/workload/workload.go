@@ -1,0 +1,288 @@
+// Package workload generates deterministic synthetic histories for the
+// examples, tests and experiments. The paper has no machine experiments;
+// these generators model its own motivating domains — personnel histories
+// with hire/fire/rehire ("reincarnation", Section 1), stock-market data
+// with an evolving schema (Figure 6), and student/course enrollments with
+// temporal referential integrity ("a student can only take a course at
+// time t if both the student and the course exist at time t").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// PersonnelConfig parameterizes the personnel-history generator.
+type PersonnelConfig struct {
+	// NumEmployees is the number of distinct employee objects.
+	NumEmployees int
+	// HistoryLen is the length of the database clock [0, HistoryLen-1].
+	HistoryLen int
+	// ChangeEvery is the mean number of chronons between salary/department
+	// changes; larger means quieter histories.
+	ChangeEvery int
+	// ReincarnationProb is the probability (0..1) that a fired employee is
+	// re-hired later, giving a gapped lifespan.
+	ReincarnationProb float64
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// DefaultPersonnel is a moderate workload used by examples.
+func DefaultPersonnel() PersonnelConfig {
+	return PersonnelConfig{NumEmployees: 50, HistoryLen: 200, ChangeEvery: 20, ReincarnationProb: 0.3, Seed: 1}
+}
+
+var departments = []string{"Toys", "Shoes", "Books", "Tools", "Music"}
+
+// PersonnelScheme returns the EMP scheme over [0, historyLen-1]:
+// NAME (key), SAL (int, step-interpolated), DEPT (string, step).
+func PersonnelScheme(historyLen int) *schema.Scheme {
+	full := lifespan.Interval(0, chronon.Time(historyLen-1))
+	return schema.MustNew("EMP", []string{"NAME"},
+		schema.Attribute{Name: "NAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "SAL", Domain: value.Ints, Lifespan: full, Interp: "step"},
+		schema.Attribute{Name: "DEPT", Domain: value.Strings, Lifespan: full, Interp: "step"},
+	)
+}
+
+// Personnel generates the personnel history relation.
+func Personnel(cfg PersonnelConfig) *core.Relation {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := PersonnelScheme(cfg.HistoryLen)
+	r := core.NewRelation(s)
+	for i := 0; i < cfg.NumEmployees; i++ {
+		name := fmt.Sprintf("emp%04d", i)
+		ls := genLifespan(rng, cfg.HistoryLen, cfg.ReincarnationProb)
+		b := core.NewTupleBuilder(s, ls)
+		b.Key("NAME", value.String_(name))
+		sal := int64(25000 + rng.Intn(20)*1000)
+		dept := departments[rng.Intn(len(departments))]
+		for _, iv := range ls.Intervals() {
+			t := iv.Lo
+			for t <= iv.Hi {
+				span := 1 + rng.Intn(2*cfg.ChangeEvery)
+				end := t + chronon.Time(span) - 1
+				if end > iv.Hi {
+					end = iv.Hi
+				}
+				b.Set("SAL", t, end, value.Int(sal))
+				b.Set("DEPT", t, end, value.String_(dept))
+				// Next segment changes salary and sometimes department.
+				sal += int64(rng.Intn(4000))
+				if rng.Intn(3) == 0 {
+					dept = departments[rng.Intn(len(departments))]
+				}
+				t = end + 1
+			}
+		}
+		r.MustInsert(b.MustBuild())
+	}
+	return r
+}
+
+// genLifespan produces an employment lifespan within [0,historyLen-1]:
+// one interval, possibly followed by a re-hire interval after a gap.
+func genLifespan(rng *rand.Rand, historyLen int, rehireProb float64) lifespan.Lifespan {
+	h := chronon.Time(historyLen)
+	lo := chronon.Time(rng.Intn(historyLen / 2))
+	hi := lo + chronon.Time(1+rng.Intn(historyLen/2))
+	if hi >= h {
+		hi = h - 1
+	}
+	ls := lifespan.Interval(lo, hi)
+	if rng.Float64() < rehireProb && hi+3 < h-1 {
+		lo2 := hi + 2 + chronon.Time(rng.Intn(int(h-hi-2)))
+		if lo2 < h {
+			hi2 := lo2 + chronon.Time(rng.Intn(int(h-lo2)))
+			if hi2 >= h {
+				hi2 = h - 1
+			}
+			ls = ls.Union(lifespan.Interval(lo2, hi2))
+		}
+	}
+	return ls
+}
+
+// StockConfig parameterizes the stock-market generator (Figure 6's
+// domain: an evolving schema whose VOLUME attribute has a gapped
+// lifespan, plus a time-valued EX_DIV attribute for dynamic TIME-SLICE
+// and TIME-JOIN).
+type StockConfig struct {
+	NumStocks  int
+	HistoryLen int
+	// VolumeGap is the [lo,hi] fraction pair of the clock during which
+	// the VOLUME attribute was dropped from the schema.
+	VolumeGapLo, VolumeGapHi float64
+	Seed                     int64
+}
+
+// DefaultStock is a moderate stock workload.
+func DefaultStock() StockConfig {
+	return StockConfig{NumStocks: 20, HistoryLen: 100, VolumeGapLo: 0.4, VolumeGapHi: 0.7, Seed: 2}
+}
+
+// StockScheme returns the STOCK scheme with the Figure 6 evolving VOLUME
+// attribute: ALS(VOLUME) = [0,gapLo-1] ∪ [gapHi+1,end].
+func StockScheme(cfg StockConfig) *schema.Scheme {
+	end := chronon.Time(cfg.HistoryLen - 1)
+	full := lifespan.Interval(0, end)
+	gapLo := chronon.Time(float64(cfg.HistoryLen) * cfg.VolumeGapLo)
+	gapHi := chronon.Time(float64(cfg.HistoryLen) * cfg.VolumeGapHi)
+	volLS := lifespan.Interval(0, gapLo-1).Union(lifespan.Interval(gapHi+1, end))
+	return schema.MustNew("STOCK", []string{"TICKER"},
+		schema.Attribute{Name: "TICKER", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "PRICE", Domain: value.Floats, Lifespan: full, Interp: "linear"},
+		schema.Attribute{Name: "VOLUME", Domain: value.Ints, Lifespan: volLS, Interp: "discrete"},
+		schema.Attribute{Name: "EX_DIV", Domain: value.Times, Lifespan: full, Interp: "step"},
+	)
+}
+
+// Stock generates the stock-market relation: every stock lives the whole
+// clock; PRICE is a random walk re-sampled every few chronons; VOLUME is
+// recorded only where its attribute lifespan permits; EX_DIV maps each
+// chronon to the stock's next ex-dividend date (a TT attribute).
+func Stock(cfg StockConfig) *core.Relation {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := StockScheme(cfg)
+	volLS := s.ALS("VOLUME")
+	end := chronon.Time(cfg.HistoryLen - 1)
+	r := core.NewRelation(s)
+	for i := 0; i < cfg.NumStocks; i++ {
+		full := lifespan.Interval(0, end)
+		b := core.NewTupleBuilder(s, full)
+		b.Key("TICKER", value.String_(fmt.Sprintf("TCK%03d", i)))
+		price := 50.0 + rng.Float64()*100
+		var t chronon.Time
+		for t <= end {
+			seg := chronon.Time(1 + rng.Intn(5))
+			hi := t + seg - 1
+			if hi > end {
+				hi = end
+			}
+			b.Set("PRICE", t, hi, value.Float(price))
+			price += rng.NormFloat64() * 2
+			if price < 1 {
+				price = 1
+			}
+			t = hi + 1
+		}
+		for _, iv := range volLS.Intervals() {
+			for t := iv.Lo; t <= iv.Hi; t += 4 {
+				hi := t + 3
+				if hi > iv.Hi {
+					hi = iv.Hi
+				}
+				b.Set("VOLUME", t, hi, value.Int(int64(1000+rng.Intn(100000))))
+			}
+		}
+		// Ex-dividend dates every ~25 chronons; EX_DIV points forward.
+		div := chronon.Time(10 + rng.Intn(20))
+		var from chronon.Time
+		for from <= end {
+			hi := div
+			if hi > end {
+				hi = end
+			}
+			b.Set("EX_DIV", from, hi, value.TimeVal(div))
+			from = hi + 1
+			div += chronon.Time(20 + rng.Intn(10))
+		}
+		r.MustInsert(b.MustBuild())
+	}
+	return r
+}
+
+// EnrollmentConfig parameterizes the student/course generator.
+type EnrollmentConfig struct {
+	NumStudents, NumCourses, NumEnrollments int
+	HistoryLen                              int
+	Seed                                    int64
+}
+
+// DefaultEnrollment is a moderate enrollment workload.
+func DefaultEnrollment() EnrollmentConfig {
+	return EnrollmentConfig{NumStudents: 30, NumCourses: 10, NumEnrollments: 60, HistoryLen: 100, Seed: 3}
+}
+
+// Enrollment generates three relations — STUDENT(SNAME*, MAJOR),
+// COURSE(CNAME*, ROOM), ENROLL(SNAME*, CNAME*) — such that every
+// enrollment's lifespan lies within the intersection of its student's
+// and course's lifespans (the paper's temporal referential integrity).
+func Enrollment(cfg EnrollmentConfig) (students, courses, enrolls *core.Relation) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	end := chronon.Time(cfg.HistoryLen - 1)
+	full := lifespan.Interval(0, end)
+
+	ss := schema.MustNew("STUDENT", []string{"SNAME"},
+		schema.Attribute{Name: "SNAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "MAJOR", Domain: value.Strings, Lifespan: full, Interp: "step"},
+	)
+	cs := schema.MustNew("COURSE", []string{"CNAME"},
+		schema.Attribute{Name: "CNAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "ROOM", Domain: value.Ints, Lifespan: full, Interp: "step"},
+	)
+	es := schema.MustNew("ENROLL", []string{"SNAME", "CNAME"},
+		schema.Attribute{Name: "SNAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "CNAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "GRADE", Domain: value.Ints, Lifespan: full, Interp: "discrete"},
+	)
+
+	students = core.NewRelation(ss)
+	majors := []string{"IS", "CS", "Math", "Econ"}
+	studentLS := make([]lifespan.Lifespan, cfg.NumStudents)
+	for i := range studentLS {
+		ls := genLifespan(rng, cfg.HistoryLen, 0.25) // drop-out and return
+		studentLS[i] = ls
+		b := core.NewTupleBuilder(ss, ls)
+		b.Key("SNAME", value.String_(fmt.Sprintf("stu%03d", i)))
+		for _, iv := range ls.Intervals() {
+			b.Set("MAJOR", iv.Lo, iv.Hi, value.String_(majors[rng.Intn(len(majors))]))
+		}
+		students.MustInsert(b.MustBuild())
+	}
+
+	courses = core.NewRelation(cs)
+	courseLS := make([]lifespan.Lifespan, cfg.NumCourses)
+	for i := range courseLS {
+		ls := genLifespan(rng, cfg.HistoryLen, 0.1)
+		courseLS[i] = ls
+		b := core.NewTupleBuilder(cs, ls)
+		b.Key("CNAME", value.String_(fmt.Sprintf("crs%02d", i)))
+		for _, iv := range ls.Intervals() {
+			b.Set("ROOM", iv.Lo, iv.Hi, value.Int(int64(100+rng.Intn(50))))
+		}
+		courses.MustInsert(b.MustBuild())
+	}
+
+	enrolls = core.NewRelation(es)
+	for n := 0; n < cfg.NumEnrollments; n++ {
+		si := rng.Intn(cfg.NumStudents)
+		ci := rng.Intn(cfg.NumCourses)
+		joint := studentLS[si].Intersect(courseLS[ci])
+		if joint.IsEmpty() {
+			continue
+		}
+		// Enroll over a sub-interval of the joint lifespan.
+		ivs := joint.Intervals()
+		iv := ivs[rng.Intn(len(ivs))]
+		lo := iv.Lo + chronon.Time(rng.Intn(int(iv.Duration())))
+		hi := lo + chronon.Time(rng.Intn(int(iv.Hi-lo)+1))
+		els := lifespan.Interval(lo, hi)
+		b := core.NewTupleBuilder(es, els)
+		b.Key("SNAME", value.String_(fmt.Sprintf("stu%03d", si)))
+		b.Key("CNAME", value.String_(fmt.Sprintf("crs%02d", ci)))
+		b.SetAt("GRADE", hi, value.Int(int64(60+rng.Intn(40))))
+		t := b.MustBuild()
+		if err := enrolls.Insert(t); err != nil {
+			continue // duplicate (student, course) pair; skip
+		}
+	}
+	return students, courses, enrolls
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/lifespan"
+	"repro/internal/value"
+)
+
+func TestPersonnelDeterministic(t *testing.T) {
+	cfg := DefaultPersonnel()
+	a := Personnel(cfg)
+	b := Personnel(cfg)
+	if !a.Equal(b) {
+		t.Error("same seed must generate the same relation")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c := Personnel(cfg2)
+	if a.Equal(c) {
+		t.Error("different seed should generate a different relation")
+	}
+}
+
+func TestPersonnelShape(t *testing.T) {
+	cfg := PersonnelConfig{NumEmployees: 40, HistoryLen: 150, ChangeEvery: 10, ReincarnationProb: 1.0, Seed: 5}
+	r := Personnel(cfg)
+	if r.Cardinality() != 40 {
+		t.Fatalf("cardinality = %d", r.Cardinality())
+	}
+	clock := chronon.NewInterval(0, 149)
+	reincarnated := 0
+	for _, tp := range r.Tuples() {
+		ls := tp.Lifespan()
+		if ls.IsEmpty() || ls.Min() < clock.Lo || ls.Max() > clock.Hi {
+			t.Fatalf("lifespan %v escapes clock", ls)
+		}
+		if ls.NumIntervals() > 1 {
+			reincarnated++
+		}
+		// SAL defined over the whole lifespan (step pieces tile it).
+		if !tp.Value("SAL").Domain().Equal(ls) {
+			t.Fatalf("SAL domain %v != lifespan %v", tp.Value("SAL").Domain(), ls)
+		}
+	}
+	if reincarnated == 0 {
+		t.Error("with prob 1.0 some employees must be re-hired")
+	}
+}
+
+func TestStockShape(t *testing.T) {
+	cfg := DefaultStock()
+	r := Stock(cfg)
+	if r.Cardinality() != cfg.NumStocks {
+		t.Fatalf("cardinality = %d", r.Cardinality())
+	}
+	s := r.Scheme()
+	if s.ALS("VOLUME").NumIntervals() != 2 {
+		t.Errorf("VOLUME lifespan should have the Figure 6 gap: %v", s.ALS("VOLUME"))
+	}
+	for _, tp := range r.Tuples() {
+		// VOLUME never defined in the schema gap.
+		if !tp.Value("VOLUME").Domain().SubsetOf(s.ALS("VOLUME")) {
+			t.Fatal("VOLUME defined outside its attribute lifespan")
+		}
+		// EX_DIV is time-valued and defined over the whole lifespan.
+		if !tp.Value("EX_DIV").Domain().Equal(tp.Lifespan()) {
+			t.Fatal("EX_DIV must cover the lifespan")
+		}
+		if _, err := tp.Value("EX_DIV").TimeImage(); err != nil {
+			t.Fatalf("EX_DIV must be a TT function: %v", err)
+		}
+	}
+	// Dynamic TIME-SLICE over EX_DIV works on the generated data.
+	if _, err := core.TimesliceDynamic(r, "EX_DIV"); err != nil {
+		t.Fatalf("dynamic timeslice: %v", err)
+	}
+}
+
+func TestEnrollmentReferentialIntegrity(t *testing.T) {
+	students, courses, enrolls := Enrollment(DefaultEnrollment())
+	if students.Cardinality() == 0 || courses.Cardinality() == 0 || enrolls.Cardinality() == 0 {
+		t.Fatal("generator produced empty relations")
+	}
+	for _, e := range enrolls.Tuples() {
+		sname := e.KeyValue("SNAME").String()
+		cname := e.KeyValue("CNAME").String()
+		st, ok := students.Lookup(sname)
+		if !ok {
+			t.Fatalf("enrollment references unknown student %s", sname)
+		}
+		cr, ok := courses.Lookup(cname)
+		if !ok {
+			t.Fatalf("enrollment references unknown course %s", cname)
+		}
+		joint := st.Lifespan().Intersect(cr.Lifespan())
+		if !e.Lifespan().SubsetOf(joint) {
+			t.Fatalf("enrollment %s/%s lifespan %v escapes student∩course %v",
+				sname, cname, e.Lifespan(), joint)
+		}
+	}
+}
+
+func TestToCube(t *testing.T) {
+	cfg := PersonnelConfig{NumEmployees: 5, HistoryLen: 30, ChangeEvery: 5, ReincarnationProb: 0.5, Seed: 7}
+	r := Personnel(cfg)
+	clock := chronon.NewInterval(0, 29)
+	c, err := ToCube(r, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumObjects() != 5 {
+		t.Fatalf("cube objects = %d", c.NumObjects())
+	}
+	// Spot-check agreement: cube snapshot vs HRDM snapshot at several times.
+	for _, tm := range []chronon.Time{0, 7, 15, 29} {
+		snap, err := core.Snapshot(r, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := c.SnapshotAt(tm)
+		if len(rows) != snap.Cardinality() {
+			t.Errorf("at %v: cube has %d rows, HRDM snapshot %d", tm, len(rows), snap.Cardinality())
+		}
+	}
+}
+
+func TestToTupleStamp(t *testing.T) {
+	cfg := PersonnelConfig{NumEmployees: 5, HistoryLen: 30, ChangeEvery: 5, ReincarnationProb: 0.5, Seed: 7}
+	r := Personnel(cfg)
+	ts, err := ToTupleStamp(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NumObjects() != 5 {
+		t.Fatalf("objects = %d", ts.NumObjects())
+	}
+	// Version values agree with the HRDM source at version starts and ends.
+	for _, tp := range r.Tuples() {
+		name := tp.KeyValue("NAME")
+		vers := ts.KeyHistory(name)
+		if len(vers) == 0 {
+			t.Fatalf("no versions for %v", name)
+		}
+		if !ts.Lifespan(name).Equal(tp.Lifespan()) {
+			t.Fatalf("lifespan mismatch for %v: %v vs %v", name, ts.Lifespan(name), tp.Lifespan())
+		}
+		for _, v := range vers {
+			for _, at := range []chronon.Time{v.From, v.To} {
+				want, ok := tp.At("SAL", at)
+				if !ok {
+					t.Fatalf("HRDM SAL undefined at %v inside version", at)
+				}
+				si := indexOf(ts.Scheme().Attrs, "SAL")
+				if !v.Vals[si].Equal(want) {
+					t.Fatalf("version SAL %v != HRDM %v at %v", v.Vals[si], want, at)
+				}
+			}
+		}
+	}
+	// When-query agreement between representations.
+	lsH, err := ts.When("SAL", value.GE, value.Int(40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.SelectWhen(r, core.Predicate{Attr: "SAL", Theta: value.GE, Const: value.Int(40000)}, lifespanAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.When(got).Equal(lsH) {
+		t.Errorf("WHEN disagreement: HRDM %v vs tuplestamp %v", core.When(got), lsH)
+	}
+}
+
+func indexOf(xs []string, x string) int {
+	for i, s := range xs {
+		if s == x {
+			return i
+		}
+	}
+	return -1
+}
+
+func lifespanAll() lifespan.Lifespan { return lifespan.All() }
