@@ -5,6 +5,16 @@
 //
 //	hrdm-bench            # run everything
 //	hrdm-bench E5 E10     # run selected experiments
+//	hrdm-bench -json      # benchmark the query engine (naive vs indexed)
+//	                      # and write machine-readable results
+//
+// With -json the command generates a large personnel workload (-n
+// tuples, default 50000), runs each engine benchmark through Go's
+// testing.Benchmark against both the naive evaluator and the indexed
+// physical plans, prints a table, and writes op/n/ns-per-op/allocs
+// records plus indexed-vs-naive speedups to -out (default
+// BENCH_engine.json) so the performance trajectory accumulates in the
+// repository.
 package main
 
 import (
@@ -27,7 +37,25 @@ var runners = map[string]func() experiment.Table{
 var order = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 
 func main() {
-	args := os.Args[1:]
+	// -json anywhere in the argument list switches to the engine
+	// benchmark mode; the remaining arguments are its flags.
+	var rest []string
+	jsonMode := false
+	for _, a := range os.Args[1:] {
+		if a == "-json" || a == "--json" {
+			jsonMode = true
+			continue
+		}
+		rest = append(rest, a)
+	}
+	if jsonMode {
+		if err := runEngineBench(rest); err != nil {
+			fmt.Fprintln(os.Stderr, "hrdm-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	args := rest
 	if len(args) == 0 {
 		args = order
 	}

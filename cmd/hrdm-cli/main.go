@@ -11,8 +11,16 @@
 // Shell commands: \l lists relations, \d NAME shows a scheme,
 // \save PATH / \load PATH persist the store in the binary format,
 // \loadtext PATH / \dumptext PATH use the human-editable text format
-// (see internal/storage/text.go), \q quits. Anything else is parsed as
-// an HQL query; see internal/hql for the grammar.
+// (see internal/storage/text.go), \q quits. EXPLAIN QUERY prints the
+// physical plan the engine would run — which indexes it probes, what
+// falls back to the naive operators, and the cost estimates — without
+// executing the plan (lifespan parameters, including WHEN sub-queries,
+// are still resolved during planning). Anything else is parsed as an
+// HQL query; see
+// internal/hql for the grammar. Queries run through the cost-aware
+// planner of internal/engine (lifespan interval indexes plus key and
+// attribute hash indexes); \opt additionally toggles the law-based AST
+// rewriter.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hql"
 	"repro/internal/lifespan"
 	"repro/internal/schema"
@@ -59,7 +68,7 @@ func main() {
 	}
 
 	fmt.Println("HRDM shell — historical relational algebra (Clifford & Croker 1987)")
-	fmt.Println(`relations: ` + strings.Join(st.Names(), ", ") + `   try: SELECT WHEN SAL = 30000 FROM EMP   (\q quits, \l lists)`)
+	fmt.Println(`relations: ` + strings.Join(st.Names(), ", ") + `   try: SELECT WHEN SAL = 30000 FROM EMP   or: EXPLAIN SELECT ...   (\q quits, \l lists)`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -147,6 +156,14 @@ func main() {
 var useOptimizer = true
 
 func runQuery(st *storage.Store, q string) error {
+	if rest, ok := cutExplain(q); ok {
+		out, err := engine.Explain(rest, st, useOptimizer)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
 	run := hql.Run
 	if useOptimizer {
 		run = hql.RunOptimized
@@ -157,6 +174,16 @@ func runQuery(st *storage.Store, q string) error {
 	}
 	fmt.Println(res)
 	return nil
+}
+
+// cutExplain strips a leading EXPLAIN keyword (any case) and reports
+// whether the line was an EXPLAIN request.
+func cutExplain(q string) (string, bool) {
+	fields := strings.Fields(q)
+	if len(fields) < 2 || !strings.EqualFold(fields[0], "EXPLAIN") {
+		return q, false
+	}
+	return strings.TrimSpace(strings.TrimSpace(q)[len(fields[0]):]), true
 }
 
 // demoStore assembles the demo database: the paper's EMP example plus

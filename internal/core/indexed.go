@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// This file exports the index-aware fast paths of the algebra. The
+// operators in unary.go and join.go are faithful linear-scan
+// transliterations of the paper's definitions; the entry points here
+// compute the same results but accept an externally supplied candidate
+// set (or probe function), so that a query engine holding lifespan or
+// key indexes (internal/engine) can skip the tuples an index has already
+// ruled out. Every function documents the soundness condition its
+// candidate set must satisfy; the equivalence is property-tested against
+// the naive operators in internal/engine.
+
+// Restrict returns t|L — the tuple restricted to lifespan L, or nil when
+// nothing of the tuple survives. It is the exported form of the
+// restriction used by TIME-SLICE and SELECT-WHEN.
+func (t *Tuple) Restrict(l lifespan.Lifespan) *Tuple { return t.restrict(l) }
+
+// CondWhen evaluates a compound condition to its satisfaction lifespan
+// for t within scope — the set of times at which the condition holds.
+func CondWhen(c Condition, t *Tuple, scope lifespan.Lifespan) (lifespan.Lifespan, error) {
+	return c.when(t, scope)
+}
+
+// CondCheck validates a condition's attribute references against a
+// scheme before a plan begins streaming tuples through it.
+func CondCheck(c Condition, s *schema.Scheme) error { return c.check(s) }
+
+// JoinPair is the per-pair θ-join kernel: it computes the agreement
+// lifespan of t1(attrA) θ t2(attrB) and, if non-empty, the concatenated
+// tuple on the join scheme rs. Returns (nil, nil) when the pair does not
+// join. Index lookup joins call this once per surviving candidate pair.
+func JoinPair(rs *schema.Scheme, t1, t2 *Tuple, attrA string, th value.Theta, attrB string) (*Tuple, error) {
+	nl, err := thetaTimes(t1.Value(attrA), t2.Value(attrB), th)
+	if err != nil {
+		return nil, err
+	}
+	return concatTuple(rs, t1, t2, nl)
+}
+
+// TimesliceStaticOver is TimesliceStatic computed over a candidate
+// subset. Soundness: cand must contain every tuple of r whose lifespan
+// overlaps L (tuples missing L entirely contribute nothing); a lifespan
+// interval index provides exactly that set in O(log n + k).
+func TimesliceStaticOver(r *Relation, L lifespan.Lifespan, cand []*Tuple) (*Relation, error) {
+	out := NewRelation(r.scheme)
+	for _, t := range cand {
+		nt := t.restrict(L)
+		if nt == nil {
+			continue
+		}
+		if err := out.Insert(nt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SelectWhenCondOver is SelectWhenCond computed over a candidate subset.
+// Soundness: cand must contain every tuple for which the condition can
+// hold at some time of L ∩ t.l — e.g. the tuples overlapping L (interval
+// index), or the tuples whose indexed attribute can satisfy a required
+// equality conjunct (attribute index plus its varying overflow).
+func SelectWhenCondOver(r *Relation, c Condition, L lifespan.Lifespan, cand []*Tuple) (*Relation, error) {
+	if err := c.check(r.scheme); err != nil {
+		return nil, err
+	}
+	out := NewRelation(r.scheme)
+	for _, t := range cand {
+		scope := t.l.Intersect(L)
+		holds, err := c.when(t, scope)
+		if err != nil {
+			return nil, fmt.Errorf("core: select-when %s: %w", c, err)
+		}
+		nt := t.restrict(holds)
+		if nt == nil {
+			continue
+		}
+		if err := out.Insert(nt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SelectIfCondOver is SelectIfCond (existential form only) computed over
+// a candidate subset. Soundness: as for SelectWhenCondOver. The
+// universal (∀) form is deliberately absent: a tuple whose scope L ∩ t.l
+// is empty satisfies ∀ vacuously and is returned whole, so no candidate
+// pruning is sound for it — planners must scan.
+func SelectIfCondOver(r *Relation, c Condition, L lifespan.Lifespan, cand []*Tuple) (*Relation, error) {
+	if err := c.check(r.scheme); err != nil {
+		return nil, err
+	}
+	out := NewRelation(r.scheme)
+	for _, t := range cand {
+		scope := t.l.Intersect(L)
+		holds, err := c.when(t, scope)
+		if err != nil {
+			return nil, fmt.Errorf("core: select-if %s: %w", c, err)
+		}
+		if !holds.IsEmpty() {
+			if err := out.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// EquiJoinProbe is EquiJoin evaluated as an index lookup join: instead
+// of the nested loop over r2, probe(t1) supplies the r2 tuples whose
+// attrB value could equal t1's attrA value at some time. Soundness:
+// probe must return a superset of the r2 tuples t2 with a non-empty
+// agreement lifespan for (t1, t2); pairs it omits must provably never
+// agree (e.g. both values constant and unequal).
+func EquiJoinProbe(r1, r2 *Relation, attrA, attrB string, probe func(t1 *Tuple) []*Tuple) (*Relation, error) {
+	if !r1.scheme.DisjointAttrs(r2.scheme) {
+		return nil, fmt.Errorf("core: equi-join probe: schemes share attributes; rename first")
+	}
+	if !r1.scheme.HasAttr(attrA) {
+		return nil, fmt.Errorf("core: equi-join probe: %s not in %s", attrA, r1.scheme.Name)
+	}
+	if !r2.scheme.HasAttr(attrB) {
+		return nil, fmt.Errorf("core: equi-join probe: %s not in %s", attrB, r2.scheme.Name)
+	}
+	rs, err := joinScheme(r1, r2)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(rs)
+	for _, t1 := range r1.tuples {
+		f1 := t1.Value(attrA)
+		if f1.IsNowhereDefined() {
+			continue
+		}
+		for _, t2 := range probe(t1) {
+			nt, err := JoinPair(rs, t1, t2, attrA, value.EQ, attrB)
+			if err != nil {
+				return nil, fmt.Errorf("core: equi-join probe: %w", err)
+			}
+			if nt == nil {
+				continue
+			}
+			if err := out.Insert(nt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

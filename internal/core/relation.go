@@ -22,6 +22,10 @@ type Relation struct {
 	scheme *schema.Scheme
 	tuples []*Tuple
 	byKey  map[string]int
+	// version counts mutations (Insert/InsertMerging); external index
+	// caches use it to detect staleness, since tuples themselves are
+	// immutable once inserted.
+	version uint64
 }
 
 // NewRelation returns an empty relation on scheme r.
@@ -47,8 +51,13 @@ func (r *Relation) Insert(t *Tuple) error {
 	}
 	r.byKey[ks] = len(r.tuples)
 	r.tuples = append(r.tuples, t)
+	r.version++
 	return nil
 }
+
+// Version returns the relation's mutation counter. Index structures
+// built over the relation record it and rebuild when it moves.
+func (r *Relation) Version() uint64 { return r.version }
 
 // MustInsert is Insert that panics on error; for tests and examples.
 func (r *Relation) MustInsert(t *Tuple) {
@@ -76,6 +85,7 @@ func (r *Relation) InsertMerging(t *Tuple) error {
 		return err
 	}
 	r.tuples[i] = m
+	r.version++
 	return nil
 }
 

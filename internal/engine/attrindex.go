@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+// AttrIndex is a hash index over one attribute of a relation. HRDM makes
+// this unusually effective: key attributes are constant-valued functions
+// by definition (the paper's CD domains), and in practice many non-key
+// attributes are constant per tuple too (a stock's ticker, a student's
+// major before any change). The index buckets the tuples whose value for
+// the attribute is a constant function, keyed by the value's canonical
+// string — the same rendering core.Relation.byKey uses — and keeps the
+// tuples whose value varies over time in an overflow list that every
+// probe must also consider. Tuples for which the attribute is nowhere
+// defined can never satisfy an equality, so they are excluded entirely.
+type AttrIndex struct {
+	attr    string
+	byVal   map[string][]*core.Tuple
+	varying []*core.Tuple
+	absent  int
+	total   int
+}
+
+// NewAttrIndex builds the index over r's tuples for the named attribute.
+func NewAttrIndex(r *core.Relation, attr string) *AttrIndex {
+	ix := &AttrIndex{attr: attr, byVal: make(map[string][]*core.Tuple)}
+	for _, t := range r.Tuples() {
+		ix.total++
+		f := t.Value(attr)
+		switch {
+		case f.IsNowhereDefined():
+			ix.absent++
+		case f.IsConstant():
+			v, _ := f.ConstantValue()
+			k := v.String()
+			ix.byVal[k] = append(ix.byVal[k], t)
+		default:
+			ix.varying = append(ix.varying, t)
+		}
+	}
+	return ix
+}
+
+// Probe returns the tuples whose attribute is constant and equal to v.
+// Callers must also consider Varying(): a time-varying value can equal v
+// over part of its domain without appearing in any bucket.
+func (ix *AttrIndex) Probe(v value.Value) []*core.Tuple {
+	return ix.byVal[v.String()]
+}
+
+// Varying returns the overflow list of tuples whose attribute value
+// changes over time. Every equality probe unions these in.
+func (ix *AttrIndex) Varying() []*core.Tuple { return ix.varying }
+
+// DistinctValues returns the number of distinct constant values indexed.
+func (ix *AttrIndex) DistinctValues() int { return len(ix.byVal) }
+
+// AvgBucket estimates the number of candidates one equality probe
+// returns: the mean constant bucket plus the whole varying overflow.
+// The planner's cost model prices index lookup joins with it.
+func (ix *AttrIndex) AvgBucket() float64 {
+	b := float64(len(ix.varying))
+	if n := len(ix.byVal); n > 0 {
+		b += float64(ix.total-ix.absent-len(ix.varying)) / float64(n)
+	}
+	return b
+}
+
+// String summarizes the index shape for EXPLAIN output.
+func (ix *AttrIndex) String() string {
+	return fmt.Sprintf("attr-index(%s: %d values, %d varying, %d absent of %d)",
+		ix.attr, len(ix.byVal), len(ix.varying), ix.absent, ix.total)
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// RelIndexes is the index set of one relation: a lifespan interval index
+// plus per-attribute hash indexes, each built lazily on first demand and
+// cached until the relation's version counter moves. Relations are
+// append-only and their tuples immutable, so a (pointer, version) pair
+// identifies an index's validity exactly.
+type RelIndexes struct {
+	rel     *core.Relation
+	version uint64
+
+	mu       sync.Mutex
+	interval *IntervalIndex
+	attrs    map[string]*AttrIndex
+}
+
+// catalog is the process-wide index cache. Only base relations resolved
+// from a query environment (i.e. stored relations) enter it — plan
+// intermediates are never indexed — so its footprint tracks the
+// database, not the query stream. maxCatalog bounds it so long-lived
+// processes that reload stores (each \load creates fresh relation
+// values) cannot pin every generation of relations in memory; eviction
+// order is arbitrary, and an evicted relation is simply re-indexed on
+// its next query.
+var catalog struct {
+	mu   sync.Mutex
+	rels map[*core.Relation]*RelIndexes
+}
+
+const maxCatalog = 256
+
+// Indexes returns the (possibly empty) index set for r, creating or
+// invalidating the cache entry as needed. The individual indexes are
+// built lazily by Interval and Attr.
+func Indexes(r *core.Relation) *RelIndexes {
+	catalog.mu.Lock()
+	defer catalog.mu.Unlock()
+	if catalog.rels == nil {
+		catalog.rels = make(map[*core.Relation]*RelIndexes)
+	}
+	x, ok := catalog.rels[r]
+	if !ok || x.version != r.Version() {
+		if !ok && len(catalog.rels) >= maxCatalog {
+			for victim := range catalog.rels {
+				if victim != r {
+					delete(catalog.rels, victim)
+					break
+				}
+			}
+		}
+		x = &RelIndexes{rel: r, version: r.Version(), attrs: make(map[string]*AttrIndex)}
+		catalog.rels[r] = x
+	}
+	return x
+}
+
+// Interval returns the relation's lifespan interval index, building it
+// on first use.
+func (x *RelIndexes) Interval() *IntervalIndex {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.interval == nil {
+		x.interval = NewIntervalIndex(x.rel)
+	}
+	return x.interval
+}
+
+// Attr returns the hash index over the named attribute, building it on
+// first use.
+func (x *RelIndexes) Attr(name string) *AttrIndex {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	ix, ok := x.attrs[name]
+	if !ok {
+		ix = NewAttrIndex(x.rel, name)
+		x.attrs[name] = ix
+	}
+	return ix
+}
+
+// BuildIndexes eagerly constructs r's interval index and the hash index
+// of every key attribute. Storage loading calls it so that a freshly
+// opened database answers its first indexed query at full speed.
+func BuildIndexes(r *core.Relation) {
+	x := Indexes(r)
+	x.Interval()
+	for _, k := range r.Scheme().Key {
+		x.Attr(k)
+	}
+}

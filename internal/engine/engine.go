@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"repro/internal/hql"
+	"repro/internal/storage"
+)
+
+// init installs the cost-aware planner as the HQL evaluation hook and
+// the storage layer's index builder: any program that imports this
+// package (the CLI, the benchmark harness, storage-loading services)
+// transparently routes hql.Run / hql.Eval through indexed physical
+// plans, and stores rebuild their indexes on load. Planning failures
+// fall back to the naive evaluator, which either runs the query or
+// reports the definitive semantic error, so installation never changes
+// observable behavior — only speed.
+func init() {
+	storage.IndexBuilder = BuildIndexes
+	hql.SetPlanner(func(e hql.Expr, env hql.Env) (hql.Result, bool, error) {
+		p, err := PlanQuery(e, env)
+		if err != nil {
+			return hql.Result{}, false, nil
+		}
+		res, err := p.Execute()
+		if err != nil {
+			return hql.Result{}, true, err
+		}
+		return res, true, nil
+	})
+}
+
+// Run parses, plans and executes a query through the engine, falling
+// back to the naive evaluator when the expression cannot be planned.
+func Run(src string, env hql.Env) (hql.Result, error) {
+	e, err := hql.Parse(src)
+	if err != nil {
+		return hql.Result{}, err
+	}
+	return Eval(e, env)
+}
+
+// Eval plans and executes a parsed expression, with naive fallback.
+func Eval(e hql.Expr, env hql.Env) (hql.Result, error) {
+	p, err := PlanQuery(e, env)
+	if err != nil {
+		return hql.EvalNaive(e, env)
+	}
+	return p.Execute()
+}
+
+// Explain parses and plans a query and renders the chosen physical
+// plan without executing the plan itself. Planning is not free of
+// evaluation: lifespan parameters — literal or WHEN sub-queries in AT
+// and DURING positions — are plan-time constants the planner must
+// resolve to price its index probes, so a WHEN sub-query does run
+// during EXPLAIN. When optimize is set, the Section 5 law-based
+// rewriter runs first, so the output shows the plan of the rewritten
+// expression — the same one Run would execute.
+func Explain(src string, env hql.Env, optimize bool) (string, error) {
+	e, err := hql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	if optimize {
+		e, _ = hql.Optimize(e)
+	}
+	p, err := PlanQuery(e, env)
+	if err != nil {
+		return "", err
+	}
+	return "query: " + e.String() + "\n" + p.Explain(), nil
+}

@@ -1,0 +1,210 @@
+// Package engine is the physical query-execution subsystem layered over
+// the HRDM algebra of internal/core.
+//
+// The algebra operators are faithful linear scans — every TIME-SLICE,
+// SELECT and JOIN walks all tuples and their chronon sets. This package
+// adds the classic relational-engine machinery on top without touching
+// the model semantics: a lifespan interval index (which tuples are alive
+// over [t1,t2] in O(log n + k)), key/attribute hash indexes over the
+// constant-valued functions the paper's CD domains guarantee, and a
+// cost-aware planner that lowers parsed HQL expressions into streaming
+// iterator plans with selection and time-slice pushdown, falling back to
+// the naive evaluator wherever no index applies. Importing the package
+// installs the planner as internal/hql's evaluation hook; equivalence
+// with the naive evaluator is property-tested over randomized workloads.
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/lifespan"
+)
+
+// ientry is one lifespan interval of one tuple. A tuple with a gapped
+// lifespan (the paper's "reincarnation") contributes one entry per
+// incarnation; ord is the tuple's insertion ordinal, used to de-duplicate
+// multi-interval matches and keep candidate order deterministic.
+type ientry struct {
+	iv  chronon.Interval
+	ord int
+	t   *core.Tuple
+}
+
+// IntervalIndex is a static centered interval tree over the lifespan
+// intervals of a relation's tuples. It answers "which tuples are alive
+// at some time of L" in O(log n + k) against the naive O(n·|intervals|)
+// scan. The index is immutable once built; the catalog rebuilds it when
+// the relation's version moves.
+type IntervalIndex struct {
+	root     *inode
+	tuples   int // tuples indexed
+	entries  int // lifespan intervals indexed
+	maxDepth int
+}
+
+// inode is one node of the centered tree: entries overlapping center are
+// stored here (sorted two ways for one-sided queries), strictly earlier
+// entries descend left, strictly later ones right.
+type inode struct {
+	center      chronon.Time
+	left, right *inode
+	byLo        []ientry // sorted by iv.Lo ascending
+	byHi        []ientry // sorted by iv.Hi descending
+}
+
+// NewIntervalIndex builds the index over r's tuples.
+func NewIntervalIndex(r *core.Relation) *IntervalIndex {
+	ts := r.Tuples()
+	var es []ientry
+	for ord, t := range ts {
+		for _, iv := range t.Lifespan().Intervals() {
+			es = append(es, ientry{iv: iv, ord: ord, t: t})
+		}
+	}
+	ix := &IntervalIndex{tuples: len(ts), entries: len(es)}
+	ix.root = build(es, 1, &ix.maxDepth)
+	return ix
+}
+
+// build recursively constructs the centered tree. The center is the
+// median interval midpoint, which keeps the tree balanced for the
+// clustered lifespans real histories produce.
+func build(es []ientry, depth int, maxDepth *int) *inode {
+	if len(es) == 0 {
+		return nil
+	}
+	if depth > *maxDepth {
+		*maxDepth = depth
+	}
+	mids := make([]chronon.Time, len(es))
+	for i, e := range es {
+		mids[i] = e.iv.Lo + (e.iv.Hi-e.iv.Lo)/2
+	}
+	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+	n := &inode{center: mids[len(mids)/2]}
+	var left, right []ientry
+	for _, e := range es {
+		switch {
+		case e.iv.Hi < n.center:
+			left = append(left, e)
+		case e.iv.Lo > n.center:
+			right = append(right, e)
+		default:
+			n.byLo = append(n.byLo, e)
+		}
+	}
+	n.byHi = append([]ientry(nil), n.byLo...)
+	sort.Slice(n.byLo, func(i, j int) bool { return n.byLo[i].iv.Lo < n.byLo[j].iv.Lo })
+	sort.Slice(n.byHi, func(i, j int) bool { return n.byHi[i].iv.Hi > n.byHi[j].iv.Hi })
+	n.left = build(left, depth+1, maxDepth)
+	n.right = build(right, depth+1, maxDepth)
+	return n
+}
+
+// Tuples returns the number of tuples indexed.
+func (ix *IntervalIndex) Tuples() int { return ix.tuples }
+
+// Entries returns the number of lifespan intervals indexed.
+func (ix *IntervalIndex) Entries() int { return ix.entries }
+
+// visit walks every entry whose interval overlaps [qlo,qhi].
+func (n *inode) visit(qlo, qhi chronon.Time, f func(ientry)) {
+	if n == nil {
+		return
+	}
+	switch {
+	case qhi < n.center:
+		// Node entries all reach center > qhi, so they overlap iff they
+		// start by qhi.
+		for _, e := range n.byLo {
+			if e.iv.Lo > qhi {
+				break
+			}
+			f(e)
+		}
+		n.left.visit(qlo, qhi, f)
+	case qlo > n.center:
+		// Node entries all start by center < qlo: overlap iff they reach qlo.
+		for _, e := range n.byHi {
+			if e.iv.Hi < qlo {
+				break
+			}
+			f(e)
+		}
+		n.right.visit(qlo, qhi, f)
+	default:
+		// The query straddles the center: every node entry overlaps.
+		for _, e := range n.byLo {
+			f(e)
+		}
+		n.left.visit(qlo, qhi, f)
+		n.right.visit(qlo, qhi, f)
+	}
+}
+
+// collect walks the tree once and returns the deduplicated matches:
+// the ord→tuple map and the (unsorted) ord list.
+func (ix *IntervalIndex) collect(L lifespan.Lifespan) (map[int]*core.Tuple, []int) {
+	if L.IsEmpty() || ix.root == nil {
+		return nil, nil
+	}
+	seen := make(map[int]*core.Tuple)
+	ords := make([]int, 0, 16)
+	for _, qv := range L.Intervals() {
+		ix.root.visit(qv.Lo, qv.Hi, func(e ientry) {
+			if _, dup := seen[e.ord]; !dup {
+				seen[e.ord] = e.t
+				ords = append(ords, e.ord)
+			}
+		})
+	}
+	return seen, ords
+}
+
+// order sorts the collected ords and lays the tuples out in insertion
+// order — the deterministic candidate order the plan nodes stream.
+func order(seen map[int]*core.Tuple, ords []int) []*core.Tuple {
+	if len(ords) == 0 {
+		return nil
+	}
+	sort.Ints(ords)
+	out := make([]*core.Tuple, len(ords))
+	for i, o := range ords {
+		out[i] = seen[o]
+	}
+	return out
+}
+
+// Overlapping returns, in insertion order, the tuples whose lifespan
+// shares at least one chronon with L — exactly the candidate set the
+// index-aware TIME-SLICE and DURING-pruned SELECT fast paths require.
+func (ix *IntervalIndex) Overlapping(L lifespan.Lifespan) []*core.Tuple {
+	return order(ix.collect(L))
+}
+
+// OverlappingWithin is the planner's pricing-plus-probe entry point:
+// one tree traversal that materializes the ordered candidate set only
+// when at most max tuples overlap L, and otherwise reports false
+// without paying for the sort and slice an abandoned index plan would
+// discard.
+func (ix *IntervalIndex) OverlappingWithin(L lifespan.Lifespan, max int) ([]*core.Tuple, bool) {
+	seen, ords := ix.collect(L)
+	if len(ords) > max {
+		return nil, false
+	}
+	return order(seen, ords), true
+}
+
+// CountOverlapping returns |Overlapping(L)| without materializing the
+// candidate slice.
+func (ix *IntervalIndex) CountOverlapping(L lifespan.Lifespan) int {
+	_, ords := ix.collect(L)
+	return len(ords)
+}
+
+// AliveAt returns the tuples alive at the single chronon s.
+func (ix *IntervalIndex) AliveAt(s chronon.Time) []*core.Tuple {
+	return ix.Overlapping(lifespan.Point(s))
+}

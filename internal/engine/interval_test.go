@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/lifespan"
+	"repro/internal/workload"
+)
+
+// naiveOverlapping is the O(n) reference the index must agree with.
+func naiveOverlapping(r *core.Relation, L lifespan.Lifespan) []*core.Tuple {
+	var out []*core.Tuple
+	for _, t := range r.Tuples() {
+		if t.Lifespan().Overlaps(L) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func TestIntervalIndexMatchesLinearScan(t *testing.T) {
+	r := workload.Personnel(workload.PersonnelConfig{
+		NumEmployees: 120, HistoryLen: 300, ChangeEvery: 15, ReincarnationProb: 0.5, Seed: 7,
+	})
+	ix := NewIntervalIndex(r)
+	if ix.Tuples() != r.Cardinality() {
+		t.Fatalf("indexed %d tuples, want %d", ix.Tuples(), r.Cardinality())
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 400; i++ {
+		lo := chronon.Time(rng.Intn(320) - 10)
+		hi := lo + chronon.Time(rng.Intn(60))
+		L := lifespan.Interval(lo, hi)
+		if i%3 == 0 { // gapped query lifespans too
+			lo2 := hi + 2 + chronon.Time(rng.Intn(40))
+			L = L.Union(lifespan.Interval(lo2, lo2+chronon.Time(rng.Intn(20))))
+		}
+		want := naiveOverlapping(r, L)
+		got := ix.Overlapping(L)
+		if len(got) != len(want) {
+			t.Fatalf("L=%s: index found %d tuples, scan found %d", L, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("L=%s: candidate %d differs (order or identity)", L, j)
+			}
+		}
+		if c := ix.CountOverlapping(L); c != len(want) {
+			t.Fatalf("L=%s: CountOverlapping=%d, want %d", L, c, len(want))
+		}
+	}
+}
+
+func TestIntervalIndexPointAndEmpty(t *testing.T) {
+	r := workload.Personnel(workload.DefaultPersonnel())
+	ix := NewIntervalIndex(r)
+	if got := ix.Overlapping(lifespan.Empty()); got != nil {
+		t.Fatalf("empty lifespan should match nothing, got %d", len(got))
+	}
+	for _, s := range []chronon.Time{0, 50, 199, 500, -3} {
+		want := naiveOverlapping(r, lifespan.Point(s))
+		got := ix.AliveAt(s)
+		if len(got) != len(want) {
+			t.Fatalf("AliveAt(%d)=%d tuples, want %d", s, len(got), len(want))
+		}
+	}
+}
+
+func TestIntervalIndexEmptyRelation(t *testing.T) {
+	r := core.NewRelation(workload.PersonnelScheme(10))
+	ix := NewIntervalIndex(r)
+	if got := ix.Overlapping(lifespan.All()); got != nil {
+		t.Fatalf("empty relation should match nothing, got %d", len(got))
+	}
+}

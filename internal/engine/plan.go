@@ -1,0 +1,534 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/tfunc"
+	"repro/internal/value"
+)
+
+// cost is the planner's currency: estimated result cardinality and
+// abstract work units (tuple touches). Estimates are heuristic — exact
+// candidate counts where an index was consulted at plan time, coarse
+// selectivity guesses elsewhere — which is enough to rank alternatives.
+type cost struct {
+	rows float64
+	work float64
+}
+
+// iterator streams result tuples; it returns (nil, nil) when exhausted.
+type iterator func() (*core.Tuple, error)
+
+// node is one operator of a physical plan. Nodes with a statically known
+// scheme stream tuple-at-a-time through open; exec materializes the
+// node's full result relation. opNode (the naive fallback) only knows
+// its scheme at execution time and reports nil from scheme.
+type node interface {
+	scheme() *schema.Scheme
+	open() (iterator, error)
+	exec() (*core.Relation, error)
+	estimate() cost
+	describe() string
+	children() []node
+}
+
+// materialize drains an iterator into a fresh relation on scheme s.
+func materialize(s *schema.Scheme, it iterator) (*core.Relation, error) {
+	out := core.NewRelation(s)
+	for {
+		t, err := it()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return out, nil
+		}
+		if err := out.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// sliceIter streams a tuple slice.
+func sliceIter(ts []*core.Tuple) iterator {
+	i := 0
+	return func() (*core.Tuple, error) {
+		if i >= len(ts) {
+			return nil, nil
+		}
+		t := ts[i]
+		i++
+		return t, nil
+	}
+}
+
+// explain renders the plan tree, one node per line with cost estimates.
+func explain(n node, b *strings.Builder, depth int) {
+	c := n.estimate()
+	fmt.Fprintf(b, "%s%s  [rows≈%.0f cost≈%.0f]\n", strings.Repeat("  ", depth), n.describe(), c.rows, c.work)
+	for _, k := range n.children() {
+		explain(k, b, depth+1)
+	}
+}
+
+// ---------------------------------------------------------------------
+// scan
+
+// scanNode streams every tuple of a base relation — the plan leaf when
+// no index applies.
+type scanNode struct {
+	name string
+	rel  *core.Relation
+}
+
+func (n *scanNode) scheme() *schema.Scheme { return n.rel.Scheme() }
+func (n *scanNode) children() []node       { return nil }
+func (n *scanNode) open() (iterator, error) {
+	return sliceIter(n.rel.Tuples()), nil
+}
+func (n *scanNode) exec() (*core.Relation, error) { return n.rel, nil }
+func (n *scanNode) estimate() cost {
+	r := float64(n.rel.Cardinality())
+	return cost{rows: r, work: r}
+}
+func (n *scanNode) describe() string {
+	return fmt.Sprintf("scan %s (%d tuples)", n.name, n.rel.Cardinality())
+}
+
+// ---------------------------------------------------------------------
+// time-slice
+
+// indexTimeSliceNode answers a static TIME-SLICE from the lifespan
+// interval index: only the tuples whose lifespan overlaps L are touched,
+// then each is restricted to L. Candidates are resolved at plan time —
+// the index probe is the cheap part — so the cost estimate is exact.
+type indexTimeSliceNode struct {
+	name string
+	rel  *core.Relation
+	L    lifespan.Lifespan
+	cand []*core.Tuple
+}
+
+func (n *indexTimeSliceNode) scheme() *schema.Scheme { return n.rel.Scheme() }
+func (n *indexTimeSliceNode) children() []node       { return nil }
+func (n *indexTimeSliceNode) open() (iterator, error) {
+	i := 0
+	return func() (*core.Tuple, error) {
+		for i < len(n.cand) {
+			t := n.cand[i]
+			i++
+			if nt := t.Restrict(n.L); nt != nil {
+				return nt, nil
+			}
+		}
+		return nil, nil
+	}, nil
+}
+func (n *indexTimeSliceNode) exec() (*core.Relation, error) {
+	return core.TimesliceStaticOver(n.rel, n.L, n.cand)
+}
+func (n *indexTimeSliceNode) estimate() cost {
+	k := float64(len(n.cand))
+	return cost{rows: k, work: logN(n.rel.Cardinality()) + k}
+}
+func (n *indexTimeSliceNode) describe() string {
+	return fmt.Sprintf("index-time-slice %s at %s (interval index: %d of %d tuples alive)",
+		n.name, n.L, len(n.cand), n.rel.Cardinality())
+}
+
+// timeSliceNode restricts each tuple of its child to L — the pushdown
+// residual used when the source is not a base relation.
+type timeSliceNode struct {
+	child node
+	L     lifespan.Lifespan
+}
+
+func (n *timeSliceNode) scheme() *schema.Scheme { return n.child.scheme() }
+func (n *timeSliceNode) children() []node       { return []node{n.child} }
+func (n *timeSliceNode) open() (iterator, error) {
+	it, err := n.child.open()
+	if err != nil {
+		return nil, err
+	}
+	return func() (*core.Tuple, error) {
+		for {
+			t, err := it()
+			if err != nil || t == nil {
+				return nil, err
+			}
+			if nt := t.Restrict(n.L); nt != nil {
+				return nt, nil
+			}
+		}
+	}, nil
+}
+func (n *timeSliceNode) exec() (*core.Relation, error) {
+	it, err := n.open()
+	if err != nil {
+		return nil, err
+	}
+	return materialize(n.scheme(), it)
+}
+func (n *timeSliceNode) estimate() cost {
+	c := n.child.estimate()
+	return cost{rows: c.rows, work: c.work + c.rows}
+}
+func (n *timeSliceNode) describe() string {
+	return fmt.Sprintf("time-slice at %s", n.L)
+}
+
+// ---------------------------------------------------------------------
+// selection
+
+// filterNode applies a SELECT-IF or SELECT-WHEN condition per child
+// tuple, streaming. Semantics mirror core.SelectIfCond/SelectWhenCond
+// exactly, including vacuous ∀ over an empty scope.
+type filterNode struct {
+	child  node
+	cond   core.Condition
+	when   bool
+	forAll bool
+	L      lifespan.Lifespan
+}
+
+func (n *filterNode) scheme() *schema.Scheme { return n.child.scheme() }
+func (n *filterNode) children() []node       { return []node{n.child} }
+func (n *filterNode) open() (iterator, error) {
+	it, err := n.child.open()
+	if err != nil {
+		return nil, err
+	}
+	return func() (*core.Tuple, error) {
+		for {
+			t, err := it()
+			if err != nil || t == nil {
+				return nil, err
+			}
+			nt, err := filterTuple(t, n.cond, n.when, n.forAll, n.L)
+			if err != nil {
+				return nil, err
+			}
+			if nt != nil {
+				return nt, nil
+			}
+		}
+	}, nil
+}
+func (n *filterNode) exec() (*core.Relation, error) {
+	it, err := n.open()
+	if err != nil {
+		return nil, err
+	}
+	return materialize(n.scheme(), it)
+}
+func (n *filterNode) estimate() cost {
+	c := n.child.estimate()
+	return cost{rows: c.rows / 2, work: c.work + c.rows}
+}
+func (n *filterNode) describe() string {
+	return fmt.Sprintf("filter %s %s%s", selKind(n.when, n.forAll), n.cond, duringSuffix(n.L))
+}
+
+// filterTuple evaluates one tuple against a selection: the restricted
+// tuple for SELECT-WHEN, the whole tuple or nil for SELECT-IF.
+func filterTuple(t *core.Tuple, c core.Condition, when, forAll bool, L lifespan.Lifespan) (*core.Tuple, error) {
+	scope := t.Lifespan().Intersect(L)
+	holds, err := core.CondWhen(c, t, scope)
+	if err != nil {
+		return nil, err
+	}
+	if when {
+		return t.Restrict(holds), nil
+	}
+	keep := !holds.IsEmpty()
+	if forAll {
+		keep = scope.Minus(holds).IsEmpty()
+	}
+	if keep {
+		return t, nil
+	}
+	return nil, nil
+}
+
+// indexSelectNode evaluates a selection over an index-pruned candidate
+// set: either the tuples matching a required equality conjunct (hash
+// index probe plus its varying overflow) or the tuples overlapping a
+// DURING lifespan (interval index). The full condition still runs per
+// candidate, so pruning is pure speedup, never semantics. The ∀ form is
+// excluded by the planner — vacuously-true tuples live outside any
+// candidate set.
+type indexSelectNode struct {
+	name  string
+	rel   *core.Relation
+	cond  core.Condition
+	when  bool
+	L     lifespan.Lifespan
+	cand  []*core.Tuple
+	prune string // how the candidates were found, for EXPLAIN
+}
+
+func (n *indexSelectNode) scheme() *schema.Scheme { return n.rel.Scheme() }
+func (n *indexSelectNode) children() []node       { return nil }
+func (n *indexSelectNode) open() (iterator, error) {
+	i := 0
+	return func() (*core.Tuple, error) {
+		for i < len(n.cand) {
+			t := n.cand[i]
+			i++
+			nt, err := filterTuple(t, n.cond, n.when, false, n.L)
+			if err != nil {
+				return nil, err
+			}
+			if nt != nil {
+				return nt, nil
+			}
+		}
+		return nil, nil
+	}, nil
+}
+func (n *indexSelectNode) exec() (*core.Relation, error) {
+	if n.when {
+		return core.SelectWhenCondOver(n.rel, n.cond, n.L, n.cand)
+	}
+	return core.SelectIfCondOver(n.rel, n.cond, n.L, n.cand)
+}
+func (n *indexSelectNode) estimate() cost {
+	k := float64(len(n.cand))
+	return cost{rows: k, work: k + 1}
+}
+func (n *indexSelectNode) describe() string {
+	return fmt.Sprintf("index-select %s %s %s%s via %s (%d of %d candidates)",
+		selKind(n.when, false), n.name, n.cond, duringSuffix(n.L), n.prune, len(n.cand), n.rel.Cardinality())
+}
+
+func selKind(when, forAll bool) string {
+	switch {
+	case when:
+		return "when"
+	case forAll:
+		return "if-forall"
+	default:
+		return "if-exists"
+	}
+}
+
+func duringSuffix(L lifespan.Lifespan) string {
+	if L.Equal(lifespan.All()) {
+		return ""
+	}
+	return " during " + L.String()
+}
+
+// ---------------------------------------------------------------------
+// projection
+
+// projectNode drops attributes tuple-at-a-time. The planner only emits
+// it when the child's key survives the projection, so no historical
+// duplicate elimination is needed; otherwise projection falls back to
+// the naive operator.
+type projectNode struct {
+	child node
+	attrs []string
+	rs    *schema.Scheme
+}
+
+func (n *projectNode) scheme() *schema.Scheme { return n.rs }
+func (n *projectNode) children() []node       { return []node{n.child} }
+func (n *projectNode) open() (iterator, error) {
+	it, err := n.child.open()
+	if err != nil {
+		return nil, err
+	}
+	return func() (*core.Tuple, error) {
+		t, err := it()
+		if err != nil || t == nil {
+			return nil, err
+		}
+		nv := make(map[string]tfunc.Func, len(n.attrs))
+		for _, a := range n.attrs {
+			nv[a] = t.Value(a)
+		}
+		return core.NewTuple(n.rs, t.Lifespan(), nv)
+	}, nil
+}
+func (n *projectNode) exec() (*core.Relation, error) {
+	it, err := n.open()
+	if err != nil {
+		return nil, err
+	}
+	return materialize(n.rs, it)
+}
+func (n *projectNode) estimate() cost {
+	c := n.child.estimate()
+	return cost{rows: c.rows, work: c.work + c.rows}
+}
+func (n *projectNode) describe() string {
+	return "project " + strings.Join(n.attrs, ", ") + " (key kept)"
+}
+
+// ---------------------------------------------------------------------
+// join
+
+// indexJoinNode is the index lookup equijoin: it streams one side and
+// probes the other side's hash index per tuple instead of nested-looping
+// over it. A streamed tuple whose join value is constant costs one
+// probe; a time-varying value probes once per distinct image value. The
+// indexed side's varying overflow joins against every streamed tuple —
+// the index cannot rule those pairs out — so the cost model charges for
+// them and the planner picks the orientation that minimizes the total.
+type indexJoinNode struct {
+	stream       node
+	streamAttr   string
+	indexed      *core.Relation
+	indexedName  string
+	indexedAttr  string
+	rs           *schema.Scheme
+	leftIsStream bool // stream side is r1 of the result scheme
+	probe        func(value.Value) []*core.Tuple
+	varying      []*core.Tuple
+	probeDesc    string
+	avgBucket    float64
+}
+
+func (n *indexJoinNode) scheme() *schema.Scheme { return n.rs }
+func (n *indexJoinNode) children() []node       { return []node{n.stream} }
+
+// candidates returns the indexed-side tuples that could join t.
+func (n *indexJoinNode) candidates(t *core.Tuple) []*core.Tuple {
+	f := t.Value(n.streamAttr)
+	if f.IsNowhereDefined() {
+		return nil
+	}
+	var out []*core.Tuple
+	if f.IsConstant() {
+		v, _ := f.ConstantValue()
+		out = n.probe(v)
+	} else {
+		// Distinct image values hit disjoint buckets, so no pair repeats.
+		for _, v := range f.Image() {
+			out = append(out, n.probe(v)...)
+		}
+	}
+	if len(n.varying) > 0 {
+		out = append(append([]*core.Tuple(nil), out...), n.varying...)
+	}
+	return out
+}
+
+func (n *indexJoinNode) open() (iterator, error) {
+	it, err := n.stream.open()
+	if err != nil {
+		return nil, err
+	}
+	var t *core.Tuple
+	var cand []*core.Tuple
+	ci := 0
+	return func() (*core.Tuple, error) {
+		for {
+			for ci < len(cand) {
+				o := cand[ci]
+				ci++
+				t1, t2 := t, o
+				a, b := n.streamAttr, n.indexedAttr
+				if !n.leftIsStream {
+					t1, t2 = o, t
+					a, b = n.indexedAttr, n.streamAttr
+				}
+				nt, err := core.JoinPair(n.rs, t1, t2, a, value.EQ, b)
+				if err != nil {
+					return nil, err
+				}
+				if nt != nil {
+					return nt, nil
+				}
+			}
+			t, err = it()
+			if err != nil || t == nil {
+				return nil, err
+			}
+			cand, ci = n.candidates(t), 0
+		}
+	}, nil
+}
+func (n *indexJoinNode) exec() (*core.Relation, error) {
+	// When the streamed side is itself a base relation, delegate to the
+	// core fast path (same kernel, one fewer indirection layer).
+	if sc, ok := n.stream.(*scanNode); ok && n.leftIsStream {
+		return core.EquiJoinProbe(sc.rel, n.indexed, n.streamAttr, n.indexedAttr, n.candidates)
+	}
+	it, err := n.open()
+	if err != nil {
+		return nil, err
+	}
+	return materialize(n.rs, it)
+}
+func (n *indexJoinNode) estimate() cost {
+	c := n.stream.estimate()
+	probes := c.rows * (1 + n.avgBucket)
+	return cost{rows: c.rows * maxf(n.avgBucket, 0.5), work: c.work + probes}
+}
+func (n *indexJoinNode) describe() string {
+	side := "right"
+	if !n.leftIsStream {
+		side = "left"
+	}
+	return fmt.Sprintf("index-lookup-join %s=%s probing %s %s via %s",
+		n.streamAttr, n.indexedAttr, side, n.indexedName, n.probeDesc)
+}
+
+// ---------------------------------------------------------------------
+// naive fallback
+
+// opNode materializes its children and applies one naive algebra
+// operator — the planner's per-operator fallback. Children still run as
+// plans, so an indexed scan below a naive operator keeps its speedup.
+type opNode struct {
+	name  string
+	kids  []node
+	est   cost
+	apply func(rels []*core.Relation) (*core.Relation, error)
+}
+
+func (n *opNode) scheme() *schema.Scheme { return nil }
+func (n *opNode) children() []node       { return n.kids }
+func (n *opNode) exec() (*core.Relation, error) {
+	rels := make([]*core.Relation, len(n.kids))
+	for i, k := range n.kids {
+		r, err := k.exec()
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+	return n.apply(rels)
+}
+func (n *opNode) open() (iterator, error) {
+	r, err := n.exec()
+	if err != nil {
+		return nil, err
+	}
+	return sliceIter(r.Tuples()), nil
+}
+func (n *opNode) estimate() cost { return n.est }
+func (n *opNode) describe() string {
+	return n.name + " (naive)"
+}
+
+func logN(n int) float64 {
+	l := 0.0
+	for m := 1; m < n; m *= 2 {
+		l++
+	}
+	return l
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,506 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chronon"
+	"repro/internal/core"
+	"repro/internal/hql"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Plan is a compiled query: a physical operator tree plus the result
+// sort of the original expression (relation, lifespan or snapshot).
+type Plan struct {
+	root node
+	kind planKind
+	at   chronon.Time // SNAPSHOT time
+	text string
+}
+
+type planKind uint8
+
+const (
+	planRelation planKind = iota
+	planWhen
+	planSnapshot
+)
+
+// PlanQuery lowers a parsed HQL expression into a physical plan. An
+// error means the planner cannot (or should not) handle the expression;
+// callers fall back to the naive evaluator, which either runs it or
+// reports the definitive semantic error.
+func PlanQuery(e hql.Expr, env hql.Env) (*Plan, error) {
+	p := &Plan{text: e.String()}
+	var src hql.Expr
+	switch n := e.(type) {
+	case *hql.WhenExpr:
+		p.kind, src = planWhen, n.Source
+	case *hql.SnapshotExpr:
+		p.kind, src = planSnapshot, n.Source
+		p.at = chronon.Time(n.At)
+	default:
+		p.kind, src = planRelation, e
+	}
+	root, err := lower(src, env)
+	if err != nil {
+		return nil, err
+	}
+	p.root = root
+	return p, nil
+}
+
+// Execute runs the plan and wraps the result in the query's sort.
+func (p *Plan) Execute() (hql.Result, error) {
+	r, err := p.root.exec()
+	if err != nil {
+		return hql.Result{}, err
+	}
+	switch p.kind {
+	case planWhen:
+		ls := core.When(r)
+		return hql.Result{Lifespan: &ls}, nil
+	case planSnapshot:
+		snap, err := core.Snapshot(r, p.at)
+		if err != nil {
+			return hql.Result{}, err
+		}
+		return hql.Result{Snapshot: snap}, nil
+	default:
+		return hql.Result{Relation: r}, nil
+	}
+}
+
+// Explain renders the physical plan, one operator per line with cost
+// estimates, for the CLI's EXPLAIN verb.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	switch p.kind {
+	case planWhen:
+		b.WriteString("when (lifespan of result)\n")
+	case planSnapshot:
+		fmt.Fprintf(&b, "snapshot at %s\n", p.at)
+	}
+	depth := 0
+	if p.kind != planRelation {
+		depth = 1
+	}
+	explain(p.root, &b, depth)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// lower translates a relation-valued expression into a plan node,
+// choosing index-backed operators by cost where they apply and wrapping
+// the naive algebra otherwise.
+func lower(e hql.Expr, env hql.Env) (node, error) {
+	switch n := e.(type) {
+	case *hql.RelName:
+		r, ok := env.Get(n.Name)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown relation %q", n.Name)
+		}
+		return &scanNode{name: n.Name, rel: r}, nil
+
+	case *hql.TimesliceExpr:
+		child, err := lower(n.Source, env)
+		if err != nil {
+			return nil, err
+		}
+		if n.By != "" {
+			return naive1("dynamic-time-slice by "+n.By, child, func(r *core.Relation) (*core.Relation, error) {
+				return core.TimesliceDynamic(r, n.By)
+			}), nil
+		}
+		L, err := evalLS(n.At, env)
+		if err != nil {
+			return nil, err
+		}
+		return lowerTimeslice(child, L), nil
+
+	case *hql.SelectExpr:
+		return lowerSelect(n, env)
+
+	case *hql.ProjectExpr:
+		child, err := lower(n.Source, env)
+		if err != nil {
+			return nil, err
+		}
+		if cs := child.scheme(); cs != nil && keyKept(cs, n.Attrs) {
+			rs, err := schema.ProjectScheme(cs, n.Attrs, cs.Name)
+			if err == nil {
+				return &projectNode{child: child, attrs: n.Attrs, rs: rs}, nil
+			}
+		}
+		return naive1("project "+strings.Join(n.Attrs, ", "), child, func(r *core.Relation) (*core.Relation, error) {
+			return core.Project(r, n.Attrs...)
+		}), nil
+
+	case *hql.RenameExpr:
+		child, err := lower(n.Source, env)
+		if err != nil {
+			return nil, err
+		}
+		return naive1("rename as "+n.Prefix, child, func(r *core.Relation) (*core.Relation, error) {
+			return r.Rename(n.Prefix)
+		}), nil
+
+	case *hql.MaterializeExpr:
+		child, err := lower(n.Source, env)
+		if err != nil {
+			return nil, err
+		}
+		return naive1("materialize", child, core.Materialize), nil
+
+	case *hql.BinaryExpr:
+		return lowerBinary(n, env)
+
+	default:
+		return nil, fmt.Errorf("engine: cannot plan %T", e)
+	}
+}
+
+// lowerTimeslice picks between the interval index, a streaming restrict,
+// and the naive operator for a static TIME-SLICE.
+func lowerTimeslice(child node, L lifespan.Lifespan) node {
+	if sc, ok := child.(*scanNode); ok {
+		// One tree traversal prices the index and, only if it wins
+		// (log n + k < n), materializes the candidate set.
+		n := sc.rel.Cardinality()
+		kmax := n - int(logN(n)) - 1
+		if cand, ok := Indexes(sc.rel).Interval().OverlappingWithin(L, kmax); ok {
+			return &indexTimeSliceNode{name: sc.name, rel: sc.rel, L: L, cand: cand}
+		}
+		// Index touches nearly everything; a plain scan restricts with
+		// less overhead.
+		return &timeSliceNode{child: child, L: L}
+	}
+	if child.scheme() != nil {
+		return &timeSliceNode{child: child, L: L}
+	}
+	return naive1("time-slice at "+L.String(), child, func(r *core.Relation) (*core.Relation, error) {
+		return core.TimesliceStatic(r, L)
+	})
+}
+
+// lowerSelect plans SELECT IF/WHEN: index-pruned candidates where a
+// required equality conjunct or a DURING lifespan permits, a streaming
+// filter otherwise, the naive operator when the child's scheme is only
+// known at execution time.
+func lowerSelect(n *hql.SelectExpr, env hql.Env) (node, error) {
+	child, err := lower(n.Source, env)
+	if err != nil {
+		return nil, err
+	}
+	cond, err := hql.BuildCond(n.Cond)
+	if err != nil {
+		return nil, err
+	}
+	L := lifespan.All()
+	if n.During != nil {
+		L, err = evalLS(n.During, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cs := child.scheme()
+	if cs == nil {
+		return naiveSelect(n, cond, L, child), nil
+	}
+	if err := core.CondCheck(cond, cs); err != nil {
+		return nil, err // surface via the naive evaluator's error path
+	}
+	filter := &filterNode{child: child, cond: cond, when: n.When, forAll: !n.When && n.ForAll, L: L}
+	sc, isScan := child.(*scanNode)
+	if !isScan || filter.forAll {
+		// ∀ quantification keeps tuples whose scope is empty (vacuous
+		// truth), so no candidate pruning is sound for it.
+		return filter, nil
+	}
+	best := node(filter)
+	// Candidate pruning via a required equality conjunct: key hash index
+	// when the attribute is the relation's key, attribute index otherwise.
+	if attr, v, ok := requiredEQ(n.Cond); ok {
+		if a, has := cs.Attr(attr); has && a.Domain.Kind == v.Kind() {
+			cand, prune := eqCandidates(sc, attr, v)
+			isel := &indexSelectNode{name: sc.name, rel: sc.rel, cond: cond, when: n.When, L: L, cand: cand, prune: prune}
+			if isel.estimate().work < best.estimate().work {
+				best = isel
+			}
+		}
+	}
+	// Candidate pruning via the lifespan interval index when DURING
+	// bounds the scope: tuples missing L have empty scope and vanish.
+	// One traversal; candidates materialize only under the current best
+	// cost (index-select work is k+1, so the budget is best.work - 2).
+	if n.During != nil {
+		kmax := int(best.estimate().work) - 2
+		if cand, ok := Indexes(sc.rel).Interval().OverlappingWithin(L, kmax); ok {
+			best = &indexSelectNode{name: sc.name, rel: sc.rel, cond: cond, when: n.When, L: L,
+				cand:  cand,
+				prune: fmt.Sprintf("interval-index during %s", L)}
+		}
+	}
+	return best, nil
+}
+
+// eqCandidates resolves the candidate set for attr = v over a base
+// relation: the byKey hash map when attr is the single-attribute key,
+// the attribute hash index (constant bucket plus varying overflow)
+// otherwise.
+func eqCandidates(sc *scanNode, attr string, v value.Value) (cand []*core.Tuple, prune string) {
+	key := sc.rel.Scheme().Key
+	if len(key) == 1 && key[0] == attr {
+		if t, ok := sc.rel.Lookup(v.String()); ok {
+			cand = []*core.Tuple{t}
+		}
+		return cand, fmt.Sprintf("key-index %s.%s", sc.name, attr)
+	}
+	ix := Indexes(sc.rel).Attr(attr)
+	cand = append(append(cand, ix.Probe(v)...), ix.Varying()...)
+	return cand, ix.String()
+}
+
+// requiredEQ finds an `attr = constant` atom that is a required conjunct
+// of the condition: the condition itself, or a conjunct of a (possibly
+// nested) AND. Tuples failing such an atom cannot satisfy the whole
+// condition, which is what makes index pruning on it sound.
+func requiredEQ(c hql.CondExpr) (string, value.Value, bool) {
+	if c.Pred != nil {
+		p := c.Pred
+		if p.Theta == value.EQ && p.OtherAttr == "" && p.Const.IsValid() {
+			return p.Attr, p.Const, true
+		}
+		return "", value.Value{}, false
+	}
+	if c.Op == "AND" {
+		for _, k := range c.Kids {
+			if a, v, ok := requiredEQ(k); ok {
+				return a, v, true
+			}
+		}
+	}
+	return "", value.Value{}, false
+}
+
+// naiveSelect wraps the naive SELECT operators over a materialized child.
+func naiveSelect(n *hql.SelectExpr, cond core.Condition, L lifespan.Lifespan, child node) node {
+	name := fmt.Sprintf("select-%s %s", selKind(n.When, !n.When && n.ForAll), cond)
+	return naive1(name, child, func(r *core.Relation) (*core.Relation, error) {
+		if n.When {
+			return core.SelectWhenCond(r, cond, L)
+		}
+		q := core.Exists
+		if n.ForAll {
+			q = core.ForAll
+		}
+		return core.SelectIfCond(r, cond, q, L)
+	})
+}
+
+// lowerBinary plans the set operators, product and the join family. The
+// equijoin gets the index treatment; everything else wraps the naive
+// operator over planned children.
+func lowerBinary(n *hql.BinaryExpr, env hql.Env) (node, error) {
+	left, err := lower(n.Left, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := lower(n.Right, env)
+	if err != nil {
+		return nil, err
+	}
+	if n.Op == "JOIN" && n.Theta == value.EQ {
+		return lowerEquiJoin(n, left, right), nil
+	}
+	lc, rc := left.estimate(), right.estimate()
+	est := cost{rows: lc.rows + rc.rows, work: lc.work + rc.work + lc.rows + rc.rows}
+	var apply func(l, r *core.Relation) (*core.Relation, error)
+	name := strings.ToLower(n.Op)
+	switch n.Op {
+	case "UNION":
+		apply = core.Union
+	case "UNIONMERGE":
+		apply = core.UnionMerge
+	case "INTERSECT":
+		apply = core.Intersect
+	case "INTERSECTMERGE":
+		apply = core.IntersectMerge
+	case "MINUS":
+		apply = core.Diff
+	case "MINUSMERGE":
+		apply = core.DiffMerge
+	case "TIMES":
+		apply = core.Product
+		est = cost{rows: lc.rows * rc.rows, work: lc.work + rc.work + lc.rows*rc.rows}
+	case "JOIN":
+		th := n.Theta
+		name = fmt.Sprintf("theta-join %s %s %s", n.AttrA, th, n.AttrB)
+		apply = func(l, r *core.Relation) (*core.Relation, error) {
+			return core.ThetaJoin(l, r, n.AttrA, th, n.AttrB)
+		}
+		est = cost{rows: lc.rows * rc.rows / 2, work: lc.work + rc.work + lc.rows*rc.rows}
+	case "OUTERJOIN":
+		th := n.Theta
+		name = fmt.Sprintf("outer-join %s %s %s", n.AttrA, th, n.AttrB)
+		apply = func(l, r *core.Relation) (*core.Relation, error) {
+			return core.ThetaJoinOuter(l, r, n.AttrA, th, n.AttrB)
+		}
+		est = cost{rows: lc.rows * rc.rows / 2, work: lc.work + rc.work + lc.rows*rc.rows}
+	case "NATJOIN":
+		name = "natural-join"
+		apply = core.NaturalJoin
+		est = cost{rows: lc.rows * rc.rows / 2, work: lc.work + rc.work + lc.rows*rc.rows}
+	case "TIMEJOIN":
+		name = "time-join @" + n.AttrA
+		apply = func(l, r *core.Relation) (*core.Relation, error) {
+			return core.TimeJoin(l, r, n.AttrA)
+		}
+		est = cost{rows: lc.rows * rc.rows / 2, work: lc.work + rc.work + lc.rows*rc.rows}
+	default:
+		return nil, fmt.Errorf("engine: unknown operator %s", n.Op)
+	}
+	return &opNode{name: name, kids: []node{left, right}, est: est,
+		apply: func(rels []*core.Relation) (*core.Relation, error) { return apply(rels[0], rels[1]) }}, nil
+}
+
+// lowerEquiJoin prices three physical forms of r1 JOIN r2 [A = B] — the
+// naive nested loop, streaming the left side against an index on the
+// right, and the mirror image — and picks the cheapest eligible one.
+func lowerEquiJoin(n *hql.BinaryExpr, left, right node) node {
+	lc, rc := left.estimate(), right.estimate()
+	best := node(&opNode{
+		name: fmt.Sprintf("equi-join %s=%s", n.AttrA, n.AttrB),
+		kids: []node{left, right},
+		est:  cost{rows: lc.rows * rc.rows / 4, work: lc.work + rc.work + lc.rows*rc.rows},
+		apply: func(rels []*core.Relation) (*core.Relation, error) {
+			return core.EquiJoin(rels[0], rels[1], n.AttrA, n.AttrB)
+		}})
+	if j := indexJoin(left, n.AttrA, right, n.AttrB, true); j != nil && j.estimate().work < best.estimate().work {
+		best = j
+	}
+	if j := indexJoin(right, n.AttrB, left, n.AttrA, false); j != nil && j.estimate().work < best.estimate().work {
+		best = j
+	}
+	return best
+}
+
+// indexJoin builds an index-lookup-join candidate with stream as the
+// streamed side and idx as the indexed side, or nil when the shape is
+// ineligible (non-base indexed side, unknown stream scheme, shared
+// attributes, mismatched value kinds).
+func indexJoin(stream node, streamAttr string, idx node, idxAttr string, leftIsStream bool) *indexJoinNode {
+	sc, ok := idx.(*scanNode)
+	if !ok {
+		return nil
+	}
+	ss := stream.scheme()
+	is := sc.rel.Scheme()
+	if ss == nil || !ss.DisjointAttrs(is) {
+		return nil
+	}
+	sa, ok1 := ss.Attr(streamAttr)
+	ia, ok2 := is.Attr(idxAttr)
+	if !ok1 || !ok2 || sa.Domain.Kind != ia.Domain.Kind {
+		return nil
+	}
+	ls, rs := ss, is
+	if !leftIsStream {
+		ls, rs = is, ss
+	}
+	joined, err := schema.ConcatScheme(ls, rs, ls.Name+"⋈"+rs.Name)
+	if err != nil {
+		return nil
+	}
+	j := &indexJoinNode{stream: stream, streamAttr: streamAttr,
+		indexed: sc.rel, indexedName: sc.name, indexedAttr: idxAttr,
+		rs: joined, leftIsStream: leftIsStream}
+	key := is.Key
+	if len(key) == 1 && key[0] == idxAttr {
+		// The canonical-key map the relation already maintains is the
+		// hash index; no separate structure needed.
+		rel := sc.rel
+		j.probe = func(v value.Value) []*core.Tuple {
+			if t, ok := rel.Lookup(v.String()); ok {
+				return []*core.Tuple{t}
+			}
+			return nil
+		}
+		j.avgBucket = 1
+		j.probeDesc = fmt.Sprintf("key-index %s.%s (%d keys)", sc.name, idxAttr, rel.Cardinality())
+		return j
+	}
+	// Building the attribute index here is an O(n) scan, but the catalog
+	// caches it per (relation, attribute, version): every later query —
+	// either join orientation, or an index-select on the same attribute —
+	// reuses it, so the build amortizes like any index warm-up even when
+	// this particular candidate loses the costing.
+	aix := Indexes(sc.rel).Attr(idxAttr)
+	j.probe = aix.Probe
+	j.varying = aix.Varying()
+	j.avgBucket = aix.AvgBucket()
+	j.probeDesc = aix.String()
+	return j
+}
+
+// naive1 wraps a unary naive operator over a planned child.
+func naive1(name string, child node, apply func(*core.Relation) (*core.Relation, error)) *opNode {
+	c := child.estimate()
+	return &opNode{name: name, kids: []node{child},
+		est:   cost{rows: c.rows, work: c.work + c.rows},
+		apply: func(rels []*core.Relation) (*core.Relation, error) { return apply(rels[0]) }}
+}
+
+// keyKept reports whether a projection onto attrs retains every key
+// attribute of s — the precondition for tuple-at-a-time projection.
+func keyKept(s *schema.Scheme, attrs []string) bool {
+	have := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		have[a] = true
+	}
+	for _, k := range s.Key {
+		if !have[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// evalLS evaluates a lifespan-valued expression at plan time, routing
+// WHEN sub-queries through the planner so they benefit from indexes too.
+func evalLS(e *hql.LSExpr, env hql.Env) (lifespan.Lifespan, error) {
+	switch {
+	case e.Literal != "":
+		return lifespan.Parse(e.Literal)
+	case e.When != nil:
+		n, err := lower(e.When, env)
+		if err != nil {
+			return lifespan.Lifespan{}, err
+		}
+		r, err := n.exec()
+		if err != nil {
+			return lifespan.Lifespan{}, err
+		}
+		return core.When(r), nil
+	default:
+		l, err := evalLS(e.Left, env)
+		if err != nil {
+			return lifespan.Lifespan{}, err
+		}
+		r, err := evalLS(e.Right, env)
+		if err != nil {
+			return lifespan.Lifespan{}, err
+		}
+		switch e.Op {
+		case "UNION":
+			return l.Union(r), nil
+		case "INTERSECT":
+			return l.Intersect(r), nil
+		case "MINUS":
+			return l.Minus(r), nil
+		}
+		return lifespan.Lifespan{}, fmt.Errorf("engine: unknown lifespan operator %s", e.Op)
+	}
+}

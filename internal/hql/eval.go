@@ -49,8 +49,39 @@ func Run(src string, env Env) (Result, error) {
 	return Eval(e, env)
 }
 
-// Eval evaluates a parsed expression.
+// Planner is an optional physical-plan hook. When installed (by
+// importing internal/engine, whose init registers its cost-aware
+// planner), Eval routes expressions through it; the hook reports
+// handled=false to fall back to the naive tree-walking evaluator. The
+// hook must not call Eval on the same expression, or evaluation would
+// recurse; it composes with EvalNaive instead.
+type Planner func(e Expr, env Env) (res Result, handled bool, err error)
+
+// planner is set once at init time (engine's package init) and read on
+// every Eval; no locking is needed because installation happens before
+// any query runs.
+var planner Planner
+
+// SetPlanner installs the physical planner hook. Passing nil restores
+// the naive evaluator.
+func SetPlanner(p Planner) { planner = p }
+
+// Eval evaluates a parsed expression, routing through the installed
+// physical planner when one is registered.
 func Eval(e Expr, env Env) (Result, error) {
+	if planner != nil {
+		if res, handled, err := planner(e, env); handled || err != nil {
+			return res, err
+		}
+	}
+	return EvalNaive(e, env)
+}
+
+// EvalNaive evaluates a parsed expression with the direct tree-walking
+// evaluator — every operator a linear scan, exactly the paper's
+// definitional semantics. It is the reference implementation the
+// planner's indexed plans are property-tested against.
+func EvalNaive(e Expr, env Env) (Result, error) {
 	switch n := e.(type) {
 	case *WhenExpr:
 		r, err := evalRel(n.Source, env)
@@ -184,6 +215,10 @@ func evalRel(e Expr, env Env) (*core.Relation, error) {
 	}
 	return nil, fmt.Errorf("hql: unhandled expression %T", e)
 }
+
+// BuildCond converts a parsed condition tree to the algebra's
+// Condition; the planner lowers SELECT nodes through it.
+func BuildCond(c CondExpr) (core.Condition, error) { return buildCond(c) }
 
 // buildCond converts a parsed condition tree to the algebra's Condition.
 func buildCond(c CondExpr) (core.Condition, error) {

@@ -10,6 +10,13 @@ import (
 	"repro/internal/value"
 )
 
+// IndexBuilder is installed by internal/engine's init (storage cannot
+// import the engine without cycling through hql): it eagerly builds the
+// engine's lifespan interval index and key hash indexes for a relation.
+// Programs that link the engine get index-warm stores from Load and
+// ParseText; programs that don't simply skip the warm-up.
+var IndexBuilder func(*core.Relation)
+
 // Store is a minimal heap-file style database: a set of named historical
 // relations that can be persisted to and reloaded from a single file.
 // It stands in for the paper's physical level in the examples and the
@@ -93,7 +100,21 @@ func Load(path string) (*Store, error) {
 		}
 		s.Put(rel)
 	}
+	s.RebuildIndexes()
 	return s, nil
+}
+
+// RebuildIndexes eagerly constructs the query engine's lifespan interval
+// index and key hash indexes for every stored relation, so a freshly
+// loaded database answers its first indexed query at full speed. Load
+// and the text-format loader call it; it is idempotent.
+func (s *Store) RebuildIndexes() {
+	if IndexBuilder == nil {
+		return
+	}
+	for _, r := range s.rels {
+		IndexBuilder(r)
+	}
 }
 
 // SizeBytes estimates the logical storage footprint of a historical

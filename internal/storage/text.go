@@ -175,6 +175,7 @@ func ParseText(r io.Reader) (*Store, error) {
 	if err := finishScheme(); err != nil {
 		return nil, fmt.Errorf("storage: text: %w", err)
 	}
+	st.RebuildIndexes()
 	return st, nil
 }
 

@@ -30,6 +30,11 @@ type PersonnelConfig struct {
 	// ReincarnationProb is the probability (0..1) that a fired employee is
 	// re-hired later, giving a gapped lifespan.
 	ReincarnationProb float64
+	// MaxTenure bounds the length of each employment interval. Zero means
+	// HistoryLen/2 (the historical default). Setting it much smaller than
+	// HistoryLen yields sparse histories — many short-lived objects on a
+	// long clock — the shape that exercises lifespan interval indexes.
+	MaxTenure int
 	// Seed makes the generator deterministic.
 	Seed int64
 }
@@ -59,7 +64,12 @@ func Personnel(cfg PersonnelConfig) *core.Relation {
 	r := core.NewRelation(s)
 	for i := 0; i < cfg.NumEmployees; i++ {
 		name := fmt.Sprintf("emp%04d", i)
-		ls := genLifespan(rng, cfg.HistoryLen, cfg.ReincarnationProb)
+		var ls lifespan.Lifespan
+		if cfg.MaxTenure > 0 {
+			ls = genTenuredLifespan(rng, cfg.HistoryLen, cfg.MaxTenure, cfg.ReincarnationProb)
+		} else {
+			ls = genLifespan(rng, cfg.HistoryLen, cfg.ReincarnationProb)
+		}
 		b := core.NewTupleBuilder(s, ls)
 		b.Key("NAME", value.String_(name))
 		sal := int64(25000 + rng.Intn(20)*1000)
@@ -101,6 +111,35 @@ func genLifespan(rng *rand.Rand, historyLen int, rehireProb float64) lifespan.Li
 		lo2 := hi + 2 + chronon.Time(rng.Intn(int(h-hi-2)))
 		if lo2 < h {
 			hi2 := lo2 + chronon.Time(rng.Intn(int(h-lo2)))
+			if hi2 >= h {
+				hi2 = h - 1
+			}
+			ls = ls.Union(lifespan.Interval(lo2, hi2))
+		}
+	}
+	return ls
+}
+
+// genTenuredLifespan is genLifespan with every employment interval's
+// length bounded by maxTenure, for sparse histories: hires start
+// anywhere on the clock (not just its first half) and end within
+// tenure, so a short query window touches few objects.
+func genTenuredLifespan(rng *rand.Rand, historyLen, maxTenure int, rehireProb float64) lifespan.Lifespan {
+	h := chronon.Time(historyLen)
+	lo := chronon.Time(rng.Intn(historyLen))
+	hi := lo + chronon.Time(rng.Intn(maxTenure)) // inclusive length 1..maxTenure
+	if hi >= h {
+		hi = h - 1
+	}
+	ls := lifespan.Interval(lo, hi)
+	if rng.Float64() < rehireProb && hi+3 < h-1 {
+		lo2 := hi + 2 + chronon.Time(rng.Intn(int(h-hi-2)))
+		if lo2 < h {
+			span := int(h - lo2)
+			if span > maxTenure {
+				span = maxTenure
+			}
+			hi2 := lo2 + chronon.Time(rng.Intn(span))
 			if hi2 >= h {
 				hi2 = h - 1
 			}
