@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
+	"repro/internal/chronon"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/hql"
@@ -130,6 +133,12 @@ func runEngineBench(args []string) error {
 	pair("select_during", `SELECT WHEN SAL > 30000 DURING {[50000,50019]} FROM EMP`)
 	pair("equijoin_key", `REF JOIN EMP ON RNAME = NAME`)
 
+	benchRepeatedQuery(&doc, st, "repeat_query",
+		`SELECT WHEN SAL > 30000 DURING {[50000,50019]} FROM EMP`)
+	benchRepeatedQuery(&doc, st, "repeat_key_eq",
+		fmt.Sprintf(`SELECT WHEN NAME = '%s' FROM EMP`, keyName))
+	benchInsertHeavy(&doc, *n)
+
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -145,6 +154,128 @@ func runEngineBench(args []string) error {
 	}
 	fmt.Printf("wrote %s\n", *out)
 	return nil
+}
+
+// benchRepeatedQuery measures the plan cache: the same query served
+// cold (cache cleared every run, so each run pays parse + plan,
+// including the plan-time index probes) versus cached (every run after
+// the first skips straight to execution).
+func benchRepeatedQuery(doc *benchFile, st *storage.Store, op, q string) {
+	fmt.Printf("%s: %s (cold plan-and-execute vs plan cache)\n", op, q)
+	rows := 0
+	if res, err := engine.Run(q, st); err != nil {
+		panic(fmt.Sprintf("run %q: %v", q, err))
+	} else if res.Relation != nil {
+		rows = res.Relation.Cardinality()
+	}
+	record := func(variant string, fn func() error) benchResult {
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		r := benchResult{Op: op, Variant: variant, N: doc.Workload.Tuples, Iters: br.N,
+			NsPerOp: br.NsPerOp(), AllocsPerOp: br.AllocsPerOp(), BytesPerOp: br.AllocedBytesPerOp(),
+			ResultRows: rows}
+		fmt.Printf("  %-28s %-8s %14d ns/op %12d allocs/op %8d rows\n",
+			op, variant, r.NsPerOp, r.AllocsPerOp, rows)
+		doc.Results = append(doc.Results, r)
+		return r
+	}
+	cold := record("cold", func() error {
+		engine.ResetPlanCache()
+		_, err := engine.Run(q, st)
+		return err
+	})
+	engine.ResetPlanCache()
+	if _, err := engine.Run(q, st); err != nil { // prime the cache
+		panic(err)
+	}
+	cached := record("cached", func() error {
+		_, err := engine.Run(q, st)
+		return err
+	})
+	if cached.NsPerOp > 0 {
+		s := float64(cold.NsPerOp) / float64(cached.NsPerOp)
+		doc.Speedups[op+"_cached"] = s
+		fmt.Printf("  speedup: %.1f×\n", s)
+	}
+	hits, misses, _ := engine.PlanCacheStats()
+	fmt.Printf("  plan cache: %d hits / %d misses during the cached pass\n", hits, misses)
+}
+
+// benchInsertHeavy measures incremental index maintenance under an
+// insert-interleaved query stream: every iteration inserts one fresh
+// tuple into a warm-indexed relation and runs an indexed query against
+// it. The "rebuild" variant drops the catalog entry after each insert —
+// the engine's pre-incremental behavior, where any write forced the
+// next query to rebuild every index — while "incremental" lets the
+// change notifications maintain the indexes in place.
+func benchInsertHeavy(doc *benchFile, n int) {
+	base := n / 10
+	if base < 500 {
+		base = 500
+	}
+	const inserts = 300
+	fmt.Printf("insert_query_mix: %d inserts into a %d-tuple relation, one indexed query per insert\n", inserts, base)
+	run := func(variant string, invalidate bool) benchResult {
+		emp := workload.Personnel(workload.PersonnelConfig{
+			NumEmployees: base, HistoryLen: 100000, ChangeEvery: 25,
+			ReincarnationProb: 0.2, MaxTenure: 40, Seed: 23,
+		})
+		st := storage.NewStore()
+		st.Put(emp)
+		st.RebuildIndexes()
+		engine.Indexes(emp).Attr("DEPT")
+		engine.ResetPlanCache()
+		queries := []string{
+			`TIMESLICE EMP AT {[50000,50004]}`,
+			`SELECT WHEN DEPT = 'Toys' FROM EMP`,
+		}
+		ib0, ab0, inc0, _ := engine.IndexMetrics()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < inserts; i++ {
+			lo := chronon.Time(10 * i % 99000)
+			t := core.NewTupleBuilder(emp.Scheme(), lifespan.Interval(lo, lo+9)).
+				Key("NAME", value.String_(fmt.Sprintf("fresh%05d", i))).
+				Set("SAL", lo, lo+9, value.Int(32000)).
+				Set("DEPT", lo, lo+9, value.String_("Fresh")).
+				MustBuild()
+			if err := emp.Insert(t); err != nil {
+				panic(fmt.Sprintf("insert %d: %v", i, err))
+			}
+			if invalidate {
+				engine.InvalidateIndexes(emp)
+			}
+			if _, err := engine.Run(queries[i%len(queries)], st); err != nil {
+				panic(fmt.Sprintf("query after insert %d: %v", i, err))
+			}
+		}
+		total := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		ib1, ab1, inc1, _ := engine.IndexMetrics()
+		r := benchResult{Op: "insert_query_mix", Variant: variant, N: base, Iters: inserts,
+			NsPerOp:     total.Nanoseconds() / inserts,
+			AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / inserts,
+			BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / inserts,
+			ResultRows:  emp.Cardinality()}
+		fmt.Printf("  %-28s %-8s %14d ns/op (full index builds %d, attr builds %d, incremental ops %d)\n",
+			"insert_query_mix", variant, r.NsPerOp, ib1-ib0, ab1-ab0, inc1-inc0)
+		doc.Results = append(doc.Results, r)
+		return r
+	}
+	rebuild := run("rebuild", true)
+	incr := run("incremental", false)
+	if incr.NsPerOp > 0 {
+		s := float64(rebuild.NsPerOp) / float64(incr.NsPerOp)
+		doc.Speedups["insert_query_mix_incremental"] = s
+		fmt.Printf("  speedup: %.1f×\n", s)
+	}
 }
 
 // benchRef builds the REF relation the equijoin probes: refN tuples

@@ -112,6 +112,9 @@ func main() {
 				fmt.Println("  error:", err)
 			} else {
 				st = loaded
+				// Plans cached against the old store can never validate
+				// again; drop them rather than pin its relations.
+				engine.ResetPlanCache()
 				fmt.Println("  loaded", strings.Join(st.Names(), ", "))
 			}
 		case strings.HasPrefix(line, `\loadtext `):
@@ -127,6 +130,7 @@ func main() {
 				fmt.Println("  error:", err)
 			} else {
 				st = loaded
+				engine.ResetPlanCache()
 				fmt.Println("  loaded", strings.Join(st.Names(), ", "))
 			}
 		case strings.HasPrefix(line, `\dumptext `):
@@ -157,6 +161,12 @@ var useOptimizer = true
 
 func runQuery(st *storage.Store, q string) error {
 	if rest, ok := cutExplain(q); ok {
+		if rest == "" {
+			// A bare EXPLAIN used to fall through to the HQL parser and
+			// surface as a cryptic parse error; hint at the verb instead.
+			fmt.Println(`usage: EXPLAIN <QUERY> — e.g. EXPLAIN SELECT WHEN SAL = 30000 FROM EMP`)
+			return nil
+		}
 		out, err := engine.Explain(rest, st, useOptimizer)
 		if err != nil {
 			return err
@@ -177,10 +187,12 @@ func runQuery(st *storage.Store, q string) error {
 }
 
 // cutExplain strips a leading EXPLAIN keyword (any case) and reports
-// whether the line was an EXPLAIN request.
+// whether the line was an EXPLAIN request. A bare EXPLAIN is still an
+// EXPLAIN request — it returns ("", true) so the caller can print a
+// usage hint rather than a parse error.
 func cutExplain(q string) (string, bool) {
 	fields := strings.Fields(q)
-	if len(fields) < 2 || !strings.EqualFold(fields[0], "EXPLAIN") {
+	if len(fields) == 0 || !strings.EqualFold(fields[0], "EXPLAIN") {
 		return q, false
 	}
 	return strings.TrimSpace(strings.TrimSpace(q)[len(fields[0]):]), true

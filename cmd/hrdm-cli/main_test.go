@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestCutExplain(t *testing.T) {
+	cases := []struct {
+		in   string
+		rest string
+		ok   bool
+	}{
+		{"EXPLAIN SELECT WHEN SAL = 1 FROM EMP", "SELECT WHEN SAL = 1 FROM EMP", true},
+		{"explain   TIMESLICE EMP AT {[0,9]}", "TIMESLICE EMP AT {[0,9]}", true},
+		{"EXPLAIN", "", true}, // bare EXPLAIN gets a usage hint, not a parse error
+		{"  explain  ", "", true},
+		{"EXPLAINX EMP", "EXPLAINX EMP", false},
+		{"SELECT WHEN SAL = 1 FROM EMP", "SELECT WHEN SAL = 1 FROM EMP", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		rest, ok := cutExplain(c.in)
+		if rest != c.rest || ok != c.ok {
+			t.Errorf("cutExplain(%q) = (%q, %v), want (%q, %v)", c.in, rest, ok, c.rest, c.ok)
+		}
+	}
+}
+
+// TestRunQueryBareExplain drives the full runQuery path: a bare EXPLAIN
+// must succeed (printing a hint) instead of surfacing an HQL parse error.
+func TestRunQueryBareExplain(t *testing.T) {
+	st := demoStore()
+	if err := runQuery(st, "EXPLAIN"); err != nil {
+		t.Fatalf("bare EXPLAIN should print a usage hint, got error: %v", err)
+	}
+	if err := runQuery(st, "EXPLAIN TIMESLICE EMP AT {[0,5]}"); err != nil {
+		t.Fatalf("EXPLAIN with query: %v", err)
+	}
+}

@@ -128,7 +128,7 @@ func SelectIfCond(r *Relation, c Condition, q Quantifier, L lifespan.Lifespan) (
 		return nil, err
 	}
 	out := NewRelation(r.scheme)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		scope := t.l.Intersect(L)
 		holds, err := c.when(t, scope)
 		if err != nil {
@@ -156,7 +156,7 @@ func SelectWhenCond(r *Relation, c Condition, L lifespan.Lifespan) (*Relation, e
 		return nil, err
 	}
 	out := NewRelation(r.scheme)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		scope := t.l.Intersect(L)
 		holds, err := c.when(t, scope)
 		if err != nil {

@@ -66,7 +66,7 @@ func AddAttribute(r *Relation, a schema.Attribute) (*Relation, error) {
 		return nil, err
 	}
 	out := NewRelation(ns)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		nv := make(map[string]tfunc.Func, len(t.v))
 		for n, f := range t.v {
 			nv[n] = f
@@ -110,7 +110,7 @@ func rewriteAttrLifespan(r *Relation, attr string, newLS lifespan.Lifespan) (*Re
 		return nil, err
 	}
 	out := NewRelation(ns)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		nv := make(map[string]tfunc.Func, len(t.v))
 		for n, f := range t.v {
 			if n == attr {
@@ -174,7 +174,7 @@ func UpdateValue(r *Relation, keyVals []string, attr string, from, to chronon.Ti
 		return nil, fmt.Errorf("core: update: %w", err)
 	}
 	out := NewRelation(r.scheme)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		if t == old {
 			t = nt
 		}

@@ -43,12 +43,13 @@ func ThetaJoinOuter(r1, r2 *Relation, attrA string, th value.Theta, attrB string
 		return nil, err
 	}
 	out := NewRelation(rs)
-	for _, t1 := range r1.tuples {
+	ts2 := r2.Tuples()
+	for _, t1 := range r1.Tuples() {
 		f1 := t1.Value(attrA)
 		if f1.IsNowhereDefined() {
 			continue
 		}
-		for _, t2 := range r2.tuples {
+		for _, t2 := range ts2 {
 			holds, err := thetaTimes(f1, t2.Value(attrB), th)
 			if err != nil {
 				return nil, fmt.Errorf("core: outer theta-join: %w", err)
@@ -89,7 +90,7 @@ func ThetaJoinOuter(r1, r2 *Relation, attrA string, th value.Theta, attrB string
 // to extend).
 func Materialize(r *Relation) (*Relation, error) {
 	out := NewRelation(r.scheme)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		nv := make(map[string]tfunc.Func, len(t.v))
 		for _, a := range r.scheme.Attrs {
 			f := t.v[a.Name]
@@ -129,7 +130,7 @@ func Materialize(r *Relation) (*Relation, error) {
 // discussion.
 func CoalesceValueLifespans(r *Relation) map[string]int {
 	out := make(map[string]int, len(r.scheme.Attrs))
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		for _, a := range r.scheme.Attrs {
 			out[a.Name] += t.v[a.Name].NumSteps()
 		}

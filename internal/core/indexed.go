@@ -136,7 +136,7 @@ func EquiJoinProbe(r1, r2 *Relation, attrA, attrB string, probe func(t1 *Tuple) 
 		return nil, err
 	}
 	out := NewRelation(rs)
-	for _, t1 := range r1.tuples {
+	for _, t1 := range r1.Tuples() {
 		f1 := t1.Value(attrA)
 		if f1.IsNowhereDefined() {
 			continue

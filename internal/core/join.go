@@ -66,12 +66,13 @@ func ThetaJoin(r1, r2 *Relation, attrA string, th value.Theta, attrB string) (*R
 		return nil, err
 	}
 	out := NewRelation(rs)
-	for _, t1 := range r1.tuples {
+	ts2 := r2.Tuples()
+	for _, t1 := range r1.Tuples() {
 		f1 := t1.Value(attrA)
 		if f1.IsNowhereDefined() {
 			continue
 		}
-		for _, t2 := range r2.tuples {
+		for _, t2 := range ts2 {
 			nl, err := thetaTimes(f1, t2.Value(attrB), th)
 			if err != nil {
 				return nil, fmt.Errorf("core: theta-join: %w", err)
@@ -152,8 +153,9 @@ func NaturalJoin(r1, r2 *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := NewRelation(rs)
-	for _, t1 := range r1.tuples {
-		for _, t2 := range r2.tuples {
+	ts2 := r2.Tuples()
+	for _, t1 := range r1.Tuples() {
+		for _, t2 := range ts2 {
 			// Agreement lifespan: times where every common attribute is
 			// defined in both and equal.
 			nl := t1.l.Intersect(t2.l)
@@ -202,7 +204,8 @@ func TimeJoin(r1, r2 *Relation, attr string) (*Relation, error) {
 		return nil, err
 	}
 	out := NewRelation(rs)
-	for _, t1 := range r1.tuples {
+	ts2 := r2.Tuples()
+	for _, t1 := range r1.Tuples() {
 		img, err := t1.Value(attr).TimeImage()
 		if err != nil {
 			return nil, fmt.Errorf("core: time-join: %w", err)
@@ -210,7 +213,7 @@ func TimeJoin(r1, r2 *Relation, attr string) (*Relation, error) {
 		if img.IsEmpty() {
 			continue
 		}
-		for _, t2 := range r2.tuples {
+		for _, t2 := range ts2 {
 			nl := img.Intersect(t1.l).Intersect(t2.l)
 			nt, err := concatTuple(rs, t1, t2, nl)
 			if err != nil {

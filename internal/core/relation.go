@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/lifespan"
 	"repro/internal/schema"
@@ -18,14 +20,64 @@ import (
 //
 // Tuples are kept in insertion order; byKey indexes the canonical key
 // string for the uniqueness check and merges.
+//
+// Concurrency: mutations (Insert, InsertMerging) and reads are
+// synchronized by an RWMutex, so any number of readers may run against
+// a relation that writers are growing. Reads hand out the tuple slice
+// as an immutable snapshot: appends never touch the prefix a snapshot
+// covers, and a merge that would overwrite a slot copies the slice
+// first when a snapshot is outstanding (the shared flag). Registered
+// observers are notified of each mutation after the write lock is
+// released, which lets external index structures absorb single-tuple
+// changes incrementally instead of rebuilding.
 type Relation struct {
 	scheme *schema.Scheme
+
+	mu     sync.RWMutex
 	tuples []*Tuple
 	byKey  map[string]int
 	// version counts mutations (Insert/InsertMerging); external index
 	// caches use it to detect staleness, since tuples themselves are
 	// immutable once inserted.
 	version uint64
+	// observers receive one Change per mutation; the slice is
+	// copy-on-append so a header read under the lock can be iterated
+	// after release.
+	observers []Observer
+	// shared is set when a caller holds a snapshot of the tuples slice;
+	// the next merge copies the slice instead of writing in place.
+	shared atomic.Bool
+}
+
+// ChangeKind discriminates the two mutations a relation supports.
+type ChangeKind uint8
+
+const (
+	// ChangeInsert appended a new tuple at Pos.
+	ChangeInsert ChangeKind = iota
+	// ChangeMerge replaced the tuple at Pos (Old) with its merge with
+	// an inserted tuple (New).
+	ChangeMerge
+)
+
+// Change describes one mutation of a relation. Version is the
+// relation's mutation counter after the change; consecutive changes
+// carry consecutive versions, so an observer can detect a missed
+// notification and fall back to a full rebuild.
+type Change struct {
+	Kind    ChangeKind
+	Pos     int    // tuple position affected
+	Old     *Tuple // replaced tuple (merges only)
+	New     *Tuple // inserted or merged tuple now at Pos
+	Version uint64
+}
+
+// Observer is notified of every mutation of a relation it is registered
+// on. Notifications are delivered outside the relation's lock (so the
+// handler may read the relation) but possibly out of order under
+// concurrent writers — handlers must use Change.Version to detect gaps.
+type Observer interface {
+	RelationChanged(r *Relation, c Change)
 }
 
 // NewRelation returns an empty relation on scheme r.
@@ -37,27 +89,101 @@ func NewRelation(r *schema.Scheme) *Relation {
 func (r *Relation) Scheme() *schema.Scheme { return r.scheme }
 
 // Cardinality returns the number of tuples (objects).
-func (r *Relation) Cardinality() int { return len(r.tuples) }
+func (r *Relation) Cardinality() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tuples)
+}
 
-// Tuples returns the tuples in insertion order. The slice is shared;
-// callers must not mutate it.
-func (r *Relation) Tuples() []*Tuple { return r.tuples }
+// Tuples returns a snapshot of the tuples in insertion order. The
+// snapshot is stable under concurrent Insert/InsertMerging; callers
+// must not mutate it.
+func (r *Relation) Tuples() []*Tuple {
+	r.mu.RLock()
+	r.shared.Store(true)
+	ts := r.tuples
+	r.mu.RUnlock()
+	return ts
+}
+
+// SnapshotVersion returns a stable tuple snapshot together with the
+// version it reflects — the atomic pair index builders need.
+func (r *Relation) SnapshotVersion() ([]*Tuple, uint64) {
+	r.mu.RLock()
+	r.shared.Store(true)
+	ts, v := r.tuples, r.version
+	r.mu.RUnlock()
+	return ts, v
+}
+
+// Observe registers o for mutation notifications and returns the
+// relation version o's view of the relation should start from.
+func (r *Relation) Observe(o Observer) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	obs := make([]Observer, len(r.observers), len(r.observers)+1)
+	copy(obs, r.observers)
+	r.observers = append(obs, o)
+	return r.version
+}
+
+// Unobserve removes a registered observer.
+func (r *Relation) Unobserve(o Observer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	obs := make([]Observer, 0, len(r.observers))
+	for _, x := range r.observers {
+		if x != o {
+			obs = append(obs, x)
+		}
+	}
+	r.observers = obs
+}
 
 // Insert adds a tuple, enforcing the key-disjointness condition.
 func (r *Relation) Insert(t *Tuple) error {
 	ks := t.keyString(r.scheme)
-	if _, dup := r.byKey[ks]; dup {
-		return fmt.Errorf("core: relation %s: duplicate key %s", r.scheme.Name, ks)
+	r.mu.Lock()
+	c, err := r.insertLocked(ks, t)
+	obs := r.observers
+	r.mu.Unlock()
+	if err != nil {
+		return err
 	}
-	r.byKey[ks] = len(r.tuples)
-	r.tuples = append(r.tuples, t)
-	r.version++
+	notify(obs, r, c)
 	return nil
 }
 
+// insertLocked appends t under the write lock and returns the Change to
+// deliver after release.
+func (r *Relation) insertLocked(ks string, t *Tuple) (Change, error) {
+	if _, dup := r.byKey[ks]; dup {
+		return Change{}, fmt.Errorf("core: relation %s: duplicate key %s", r.scheme.Name, ks)
+	}
+	pos := len(r.tuples)
+	r.byKey[ks] = pos
+	// Appending is snapshot-safe without copying: outstanding snapshots
+	// cover only the prefix [0,pos).
+	r.tuples = append(r.tuples, t)
+	r.version++
+	return Change{Kind: ChangeInsert, Pos: pos, New: t, Version: r.version}, nil
+}
+
+// notify delivers c to every observer registered at mutation time.
+func notify(obs []Observer, r *Relation, c Change) {
+	for _, o := range obs {
+		o.RelationChanged(r, c)
+	}
+}
+
 // Version returns the relation's mutation counter. Index structures
-// built over the relation record it and rebuild when it moves.
-func (r *Relation) Version() uint64 { return r.version }
+// built over the relation record it and catch up (or rebuild) when it
+// moves.
+func (r *Relation) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
+}
 
 // MustInsert is Insert that panics on error; for tests and examples.
 func (r *Relation) MustInsert(t *Tuple) {
@@ -72,26 +198,54 @@ func (r *Relation) MustInsert(t *Tuple) {
 // returned.
 func (r *Relation) InsertMerging(t *Tuple) error {
 	ks := t.keyString(r.scheme)
+	r.mu.Lock()
 	i, dup := r.byKey[ks]
 	if !dup {
-		return r.Insert(t)
+		c, err := r.insertLocked(ks, t)
+		obs := r.observers
+		r.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		notify(obs, r, c)
+		return nil
 	}
 	old := r.tuples[i]
 	if !old.Mergable(t, r.scheme) {
+		r.mu.Unlock()
 		return fmt.Errorf("core: relation %s: tuple with key %s contradicts existing history", r.scheme.Name, ks)
 	}
 	m, err := old.Merge(t)
 	if err != nil {
+		r.mu.Unlock()
 		return err
+	}
+	// A merge overwrites a slot an outstanding snapshot may cover; copy
+	// the slice first so snapshots stay immutable. The flag clears after
+	// the copy — merge-heavy construction of a private relation (no
+	// snapshots taken) never pays for copies.
+	if r.shared.Load() {
+		r.tuples = append([]*Tuple(nil), r.tuples...)
+		r.shared.Store(false)
 	}
 	r.tuples[i] = m
 	r.version++
+	c := Change{Kind: ChangeMerge, Pos: i, Old: old, New: m, Version: r.version}
+	obs := r.observers
+	r.mu.Unlock()
+	notify(obs, r, c)
 	return nil
 }
 
-// Lookup returns the tuple whose key string matches t's, if any.
+// Lookup returns the tuple whose key matches the given key values, one
+// per key attribute in scheme order, each in its value's canonical
+// rendering (value.Value.String). Multi-attribute keys are combined
+// with the same collision-free encoding the relation indexes by, so a
+// key value containing the separator cannot alias a different key.
 func (r *Relation) Lookup(keyVals ...string) (*Tuple, bool) {
-	ks := strings.Join(keyVals, "|")
+	ks := encodeKey(keyVals)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	i, ok := r.byKey[ks]
 	if !ok {
 		return nil, false
@@ -101,7 +255,10 @@ func (r *Relation) Lookup(keyVals ...string) (*Tuple, bool) {
 
 // lookupTuple finds the relation's tuple sharing o's key values.
 func (r *Relation) lookupTuple(o *Tuple) (*Tuple, bool) {
-	i, ok := r.byKey[o.keyString(r.scheme)]
+	ks := o.keyString(r.scheme)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i, ok := r.byKey[ks]
 	if !ok {
 		return nil, false
 	}
@@ -112,7 +269,7 @@ func (r *Relation) lookupTuple(o *Tuple) (*Tuple, bool) {
 // relation r" (Section 3). WHEN is defined directly from this.
 func (r *Relation) Lifespan() lifespan.Lifespan {
 	ls := lifespan.Empty()
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		ls = ls.Union(t.l)
 	}
 	return ls
@@ -121,13 +278,14 @@ func (r *Relation) Lifespan() lifespan.Lifespan {
 // Equal reports set equality of two relations: same scheme attributes and
 // an equal tuple for every key, independent of insertion order.
 func (r *Relation) Equal(o *Relation) bool {
-	if len(r.tuples) != len(o.tuples) {
+	ts, os := r.Tuples(), o.Tuples()
+	if len(ts) != len(os) {
 		return false
 	}
 	if !r.scheme.SameAttrs(o.scheme) {
 		return false
 	}
-	for _, t := range r.tuples {
+	for _, t := range ts {
 		u, ok := o.lookupTuple(t)
 		if !ok || !t.Equal(u) {
 			return false
@@ -139,7 +297,7 @@ func (r *Relation) Equal(o *Relation) bool {
 // sortedTuples returns the tuples sorted by key string — a canonical
 // order for printing and deterministic iteration in experiments.
 func (r *Relation) sortedTuples() []*Tuple {
-	out := append([]*Tuple(nil), r.tuples...)
+	out := append([]*Tuple(nil), r.Tuples()...)
 	sort.Slice(out, func(i, j int) bool {
 		return out[i].keyString(r.scheme) < out[j].keyString(r.scheme)
 	})
@@ -162,8 +320,9 @@ func (r *Relation) String() string {
 // tuple. Operators call it in tests (via the invariant-checking helpers)
 // rather than on every construction for performance.
 func (r *Relation) checkInvariants() error {
-	seen := make(map[string]bool, len(r.tuples))
-	for _, t := range r.tuples {
+	ts := r.Tuples()
+	seen := make(map[string]bool, len(ts))
+	for _, t := range ts {
 		ks := t.keyString(r.scheme)
 		if seen[ks] {
 			return fmt.Errorf("core: relation %s: duplicate key %s", r.scheme.Name, ks)

@@ -24,12 +24,12 @@ func Union(r1, r2 *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := NewRelation(rs)
-	for _, t := range r1.tuples {
+	for _, t := range r1.Tuples() {
 		if err := out.Insert(t); err != nil {
 			return nil, err
 		}
 	}
-	for _, t := range r2.tuples {
+	for _, t := range r2.Tuples() {
 		if prev, ok := out.lookupTuple(t); ok {
 			if !prev.Equal(t) {
 				return nil, fmt.Errorf("core: union: key %s present in both operands with different histories; use UnionMerge",
@@ -52,7 +52,7 @@ func Intersect(r1, r2 *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := NewRelation(rs)
-	for _, t := range r1.tuples {
+	for _, t := range r1.Tuples() {
 		u, ok := r2.lookupTuple(t)
 		if ok && t.Equal(u) {
 			if err := out.Insert(t); err != nil {
@@ -70,7 +70,7 @@ func Diff(r1, r2 *Relation) (*Relation, error) {
 		return nil, fmt.Errorf("core: diff: %s and %s are not union-compatible", r1.scheme.Name, r2.scheme.Name)
 	}
 	out := NewRelation(r1.scheme)
-	for _, t := range r1.tuples {
+	for _, t := range r1.Tuples() {
 		if u, ok := r2.lookupTuple(t); ok && t.Equal(u) {
 			continue
 		}
@@ -100,7 +100,7 @@ func UnionMerge(r1, r2 *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := NewRelation(rs)
-	for _, t1 := range r1.tuples {
+	for _, t1 := range r1.Tuples() {
 		t2, ok := r2.lookupTuple(t1)
 		if !ok {
 			// Not matched in r2.
@@ -120,7 +120,7 @@ func UnionMerge(r1, r2 *Relation) (*Relation, error) {
 			return nil, err
 		}
 	}
-	for _, t2 := range r2.tuples {
+	for _, t2 := range r2.Tuples() {
 		if _, ok := r1.lookupTuple(t2); !ok {
 			if err := out.Insert(t2); err != nil {
 				return nil, err
@@ -146,7 +146,7 @@ func IntersectMerge(r1, r2 *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := NewRelation(rs)
-	for _, t1 := range r1.tuples {
+	for _, t1 := range r1.Tuples() {
 		t2, ok := r2.lookupTuple(t1)
 		if !ok || !t1.Mergable(t2, r1.scheme) {
 			continue
@@ -175,7 +175,7 @@ func DiffMerge(r1, r2 *Relation) (*Relation, error) {
 		return nil, fmt.Errorf("core: diff-merge: %s and %s are not merge-compatible", r1.scheme.Name, r2.scheme.Name)
 	}
 	out := NewRelation(r1.scheme)
-	for _, t1 := range r1.tuples {
+	for _, t1 := range r1.Tuples() {
 		t2, ok := r2.lookupTuple(t1)
 		if !ok || !t1.Mergable(t2, r1.scheme) {
 			// Not matched in r2 (an unmergable same-key tuple is "not
@@ -213,8 +213,9 @@ func Product(r1, r2 *Relation) (*Relation, error) {
 		return nil, err
 	}
 	out := NewRelation(rs)
-	for _, t1 := range r1.tuples {
-		for _, t2 := range r2.tuples {
+	ts2 := r2.Tuples()
+	for _, t1 := range r1.Tuples() {
+		for _, t2 := range ts2 {
 			nl := t1.l.Union(t2.l)
 			nv := make(map[string]tfunc.Func, len(t1.v)+len(t2.v))
 			for a, f := range t1.v {

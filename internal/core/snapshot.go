@@ -45,7 +45,7 @@ func Snapshot(r *Relation, s chronon.Time) (*rel.Relation, error) {
 		return nil, err
 	}
 	out := rel.NewRelation(rs)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		if !t.l.Contains(s) {
 			continue
 		}
@@ -78,7 +78,7 @@ func (r *Relation) Rename(prefix string) (*Relation, error) {
 		return nil, err
 	}
 	out := NewRelation(rs)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		m := make(map[string]tfunc.Func, len(t.v))
 		for a, f := range t.v {
 			m[prefix+"."+a] = f

@@ -135,8 +135,15 @@ func (t *Tuple) keyString(r *schema.Scheme) string {
 	for i, k := range r.Key {
 		parts[i] = t.KeyValue(k).String()
 	}
-	return strings.Join(parts, "|")
+	return encodeKey(parts)
 }
+
+// encodeKey combines the canonical renderings of a tuple's key values
+// into the collision-free index string of value.EncodeKey (escaped
+// parts joined with '|', injective even when a key value contains the
+// separator). Relation.byKey and Relation.Lookup both index through
+// this function.
+func encodeKey(parts []string) string { return value.EncodeKey(parts) }
 
 // restrict returns t|L: the tuple with lifespan t.l ∩ L and every value
 // restricted accordingly. Returns nil when the restricted lifespan is

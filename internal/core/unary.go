@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/chronon"
 	"repro/internal/lifespan"
@@ -30,7 +29,7 @@ func Project(r *Relation, attrs ...string) (*Relation, error) {
 	}
 	out := NewRelation(rs)
 	keyKept := sameKey(rs.Key, r.scheme.Key)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		if keyKept {
 			nv := make(map[string]tfunc.Func, len(attrs))
 			for _, a := range attrs {
@@ -110,7 +109,7 @@ func constantSegments(t *Tuple, attrs []string, joint lifespan.Lifespan) []segme
 				vals[i] = v
 				keyParts[i] = v.String()
 			}
-			k := strings.Join(keyParts, "|")
+			k := encodeKey(keyParts)
 			piece := lifespan.Interval(lo, hi)
 			if i, ok := byKey[k]; ok {
 				segs[i].ls = segs[i].ls.Union(piece)
@@ -256,7 +255,7 @@ func SelectIf(r *Relation, p Predicate, q Quantifier, L lifespan.Lifespan) (*Rel
 		return nil, err
 	}
 	out := NewRelation(r.scheme)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		scope := t.l.Intersect(L)
 		holds, err := p.when(t, scope)
 		if err != nil {
@@ -294,7 +293,7 @@ func SelectWhen(r *Relation, p Predicate, L lifespan.Lifespan) (*Relation, error
 		return nil, err
 	}
 	out := NewRelation(r.scheme)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		scope := t.l.Intersect(L)
 		holds, err := p.when(t, scope)
 		if err != nil {
@@ -333,7 +332,7 @@ func checkPredicate(s *schema.Scheme, p Predicate) error {
 // whose lifespans miss L entirely vanish.
 func TimesliceStatic(r *Relation, L lifespan.Lifespan) (*Relation, error) {
 	out := NewRelation(r.scheme)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		nt := t.restrict(L)
 		if nt == nil {
 			continue
@@ -363,7 +362,7 @@ func TimesliceDynamic(r *Relation, attr string) (*Relation, error) {
 			attr, a.Domain.Kind)
 	}
 	out := NewRelation(r.scheme)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		img, err := t.Value(attr).TimeImage()
 		if err != nil {
 			return nil, fmt.Errorf("core: dynamic timeslice: %w", err)

@@ -70,14 +70,11 @@ func (r *Relation) NumRows() int {
 }
 
 func keyString(vals []value.Value, numKey int) string {
-	s := ""
+	parts := make([]string, numKey)
 	for i := 0; i < numKey; i++ {
-		if i > 0 {
-			s += "|"
-		}
-		s += vals[i].String()
+		parts[i] = vals[i].String()
 	}
-	return s
+	return value.EncodeKey(parts)
 }
 
 // RecordState writes the object's state at time t: a full row with

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/value"
@@ -17,8 +18,16 @@ import (
 // tuples whose value varies over time in an overflow list that every
 // probe must also consider. Tuples for which the attribute is nowhere
 // defined can never satisfy an equality, so they are excluded entirely.
+//
+// The index is incrementally maintainable: Add absorbs a single-tuple
+// insert and Replace a merge, so the catalog keeps it fresh from
+// relation change notifications instead of rebuilding. Reads and writes
+// are synchronized internally; slices handed out by Probe/Varying are
+// stable snapshots (appends extend behind them, removals copy first).
 type AttrIndex struct {
-	attr    string
+	attr string
+
+	mu      sync.RWMutex
 	byVal   map[string][]*core.Tuple
 	varying []*core.Tuple
 	absent  int
@@ -27,42 +36,127 @@ type AttrIndex struct {
 
 // NewAttrIndex builds the index over r's tuples for the named attribute.
 func NewAttrIndex(r *core.Relation, attr string) *AttrIndex {
+	return newAttrIndexFrom(r.Tuples(), attr)
+}
+
+// newAttrIndexFrom builds the index from a stable tuple snapshot.
+func newAttrIndexFrom(ts []*core.Tuple, attr string) *AttrIndex {
+	metrics.attrBuilds.Add(1)
 	ix := &AttrIndex{attr: attr, byVal: make(map[string][]*core.Tuple)}
-	for _, t := range r.Tuples() {
-		ix.total++
-		f := t.Value(attr)
-		switch {
-		case f.IsNowhereDefined():
-			ix.absent++
-		case f.IsConstant():
-			v, _ := f.ConstantValue()
-			k := v.String()
-			ix.byVal[k] = append(ix.byVal[k], t)
-		default:
-			ix.varying = append(ix.varying, t)
-		}
+	for _, t := range ts {
+		ix.addLocked(t)
 	}
 	return ix
 }
 
+// Add absorbs a single inserted tuple.
+func (ix *AttrIndex) Add(t *core.Tuple) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.addLocked(t)
+}
+
+// Replace absorbs a merge: the relation replaced old with new in place.
+func (ix *AttrIndex) Replace(old, new *core.Tuple) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(old)
+	ix.addLocked(new)
+}
+
+func (ix *AttrIndex) addLocked(t *core.Tuple) {
+	ix.total++
+	f := t.Value(ix.attr)
+	switch {
+	case f.IsNowhereDefined():
+		ix.absent++
+	case f.IsConstant():
+		v, _ := f.ConstantValue()
+		k := v.String()
+		// Appending never disturbs a handed-out snapshot: holders read
+		// only their own length.
+		ix.byVal[k] = append(ix.byVal[k], t)
+	default:
+		ix.varying = append(ix.varying, t)
+	}
+}
+
+func (ix *AttrIndex) removeLocked(t *core.Tuple) {
+	ix.total--
+	f := t.Value(ix.attr)
+	switch {
+	case f.IsNowhereDefined():
+		ix.absent--
+	case f.IsConstant():
+		v, _ := f.ConstantValue()
+		k := v.String()
+		if nb := dropTuple(ix.byVal[k], t); len(nb) == 0 {
+			delete(ix.byVal, k)
+		} else {
+			ix.byVal[k] = nb
+		}
+	default:
+		ix.varying = dropTuple(ix.varying, t)
+	}
+}
+
+// dropTuple returns s without t, copying first so outstanding snapshots
+// of s are unaffected. Order is preserved.
+func dropTuple(s []*core.Tuple, t *core.Tuple) []*core.Tuple {
+	out := make([]*core.Tuple, 0, len(s))
+	for _, x := range s {
+		if x != t {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
 // Probe returns the tuples whose attribute is constant and equal to v.
 // Callers must also consider Varying(): a time-varying value can equal v
-// over part of its domain without appearing in any bucket.
+// over part of its domain without appearing in any bucket. The returned
+// slice is a stable snapshot.
 func (ix *AttrIndex) Probe(v value.Value) []*core.Tuple {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.byVal[v.String()]
 }
 
 // Varying returns the overflow list of tuples whose attribute value
-// changes over time. Every equality probe unions these in.
-func (ix *AttrIndex) Varying() []*core.Tuple { return ix.varying }
+// changes over time. Every equality probe unions these in. The returned
+// slice is a stable snapshot.
+func (ix *AttrIndex) Varying() []*core.Tuple {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.varying
+}
 
 // DistinctValues returns the number of distinct constant values indexed.
-func (ix *AttrIndex) DistinctValues() int { return len(ix.byVal) }
+func (ix *AttrIndex) DistinctValues() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.byVal)
+}
+
+// Stats summarizes the index's value distribution for the planner's
+// selectivity estimates.
+func (ix *AttrIndex) Stats() AttrStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return AttrStats{
+		Rows:     ix.total,
+		Distinct: len(ix.byVal),
+		Varying:  len(ix.varying),
+		Absent:   ix.absent,
+	}
+}
 
 // AvgBucket estimates the number of candidates one equality probe
 // returns: the mean constant bucket plus the whole varying overflow.
 // The planner's cost model prices index lookup joins with it.
 func (ix *AttrIndex) AvgBucket() float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	b := float64(len(ix.varying))
 	if n := len(ix.byVal); n > 0 {
 		b += float64(ix.total-ix.absent-len(ix.varying)) / float64(n)
@@ -72,6 +166,8 @@ func (ix *AttrIndex) AvgBucket() float64 {
 
 // String summarizes the index shape for EXPLAIN output.
 func (ix *AttrIndex) String() string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return fmt.Sprintf("attr-index(%s: %d values, %d varying, %d absent of %d)",
 		ix.attr, len(ix.byVal), len(ix.varying), ix.absent, ix.total)
 }

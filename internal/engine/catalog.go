@@ -2,22 +2,46 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
 
+// metrics counts index build and maintenance work so tests and the
+// benchmark harness can assert that single-tuple inserts are absorbed
+// incrementally instead of triggering full rebuilds.
+var metrics struct {
+	intervalBuilds atomic.Uint64 // full interval-tree (re)builds, incl. overlay compactions
+	attrBuilds     atomic.Uint64 // full attribute-index (re)builds
+	incremental    atomic.Uint64 // single-tuple changes absorbed in place
+	resyncs        atomic.Uint64 // full catch-ups after a missed notification
+}
+
+// IndexMetrics reports cumulative index-maintenance counters: full
+// interval-index builds, full attribute-index builds, single-tuple
+// changes absorbed incrementally, and full resyncs after missed
+// notifications.
+func IndexMetrics() (intervalBuilds, attrBuilds, incremental, resyncs uint64) {
+	return metrics.intervalBuilds.Load(), metrics.attrBuilds.Load(),
+		metrics.incremental.Load(), metrics.resyncs.Load()
+}
+
 // RelIndexes is the index set of one relation: a lifespan interval index
-// plus per-attribute hash indexes, each built lazily on first demand and
-// cached until the relation's version counter moves. Relations are
-// append-only and their tuples immutable, so a (pointer, version) pair
-// identifies an index's validity exactly.
+// plus per-attribute hash indexes, each built lazily on first demand,
+// and the statistics object derived from them. The set registers itself
+// as a change observer on the relation, so single-tuple inserts and
+// merges are absorbed into the built indexes incrementally; a missed
+// notification (detected by a version gap) marks the set stale and the
+// next access rebuilds from a consistent snapshot.
 type RelIndexes struct {
-	rel     *core.Relation
-	version uint64
+	rel *core.Relation
 
 	mu       sync.Mutex
+	version  uint64 // relation version every built structure reflects
+	stale    bool   // a notification was missed; rebuild on next access
 	interval *IntervalIndex
 	attrs    map[string]*AttrIndex
+	stats    *RelStats // cached statistics; nil = recompute on demand
 }
 
 // catalog is the process-wide index cache. Only base relations resolved
@@ -26,8 +50,8 @@ type RelIndexes struct {
 // database, not the query stream. maxCatalog bounds it so long-lived
 // processes that reload stores (each \load creates fresh relation
 // values) cannot pin every generation of relations in memory; eviction
-// order is arbitrary, and an evicted relation is simply re-indexed on
-// its next query.
+// order is arbitrary, an evicted entry unregisters its observer, and an
+// evicted relation is simply re-indexed on its next query.
 var catalog struct {
 	mu   sync.Mutex
 	rels map[*core.Relation]*RelIndexes
@@ -35,9 +59,10 @@ var catalog struct {
 
 const maxCatalog = 256
 
-// Indexes returns the (possibly empty) index set for r, creating or
-// invalidating the cache entry as needed. The individual indexes are
-// built lazily by Interval and Attr.
+// Indexes returns the (possibly empty) index set for r, creating the
+// cache entry — and registering it for change notifications — on first
+// use. The individual indexes are built lazily by Interval and Attr and
+// kept fresh incrementally thereafter.
 func Indexes(r *core.Relation) *RelIndexes {
 	catalog.mu.Lock()
 	defer catalog.mu.Unlock()
@@ -45,19 +70,95 @@ func Indexes(r *core.Relation) *RelIndexes {
 		catalog.rels = make(map[*core.Relation]*RelIndexes)
 	}
 	x, ok := catalog.rels[r]
-	if !ok || x.version != r.Version() {
-		if !ok && len(catalog.rels) >= maxCatalog {
-			for victim := range catalog.rels {
+	if !ok {
+		if len(catalog.rels) >= maxCatalog {
+			for victim, vx := range catalog.rels {
 				if victim != r {
+					victim.Unobserve(vx)
 					delete(catalog.rels, victim)
 					break
 				}
 			}
 		}
-		x = &RelIndexes{rel: r, version: r.Version(), attrs: make(map[string]*AttrIndex)}
+		x = &RelIndexes{rel: r, attrs: make(map[string]*AttrIndex)}
+		x.version = r.Observe(x)
 		catalog.rels[r] = x
 	}
 	return x
+}
+
+// InvalidateIndexes drops r's catalog entry (unregistering its change
+// observer), so the next query rebuilds every index from scratch. The
+// benchmark harness uses it to simulate the pre-incremental maintenance
+// behavior; it is also the escape hatch should an index ever be
+// suspected stale.
+func InvalidateIndexes(r *core.Relation) {
+	catalog.mu.Lock()
+	defer catalog.mu.Unlock()
+	if x, ok := catalog.rels[r]; ok {
+		r.Unobserve(x)
+		delete(catalog.rels, r)
+	}
+}
+
+// RelationChanged implements core.Observer: it absorbs one single-tuple
+// change into every already-built index. Notifications are delivered
+// outside the relation's lock and may therefore arrive out of order
+// under concurrent writers; the consecutive-version check detects a gap
+// and degrades to a full rebuild on next access instead of applying
+// changes twice or out of order.
+func (x *RelIndexes) RelationChanged(r *core.Relation, c core.Change) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.stale || c.Version <= x.version {
+		return // pending rebuild, or already absorbed by a resync
+	}
+	if c.Version != x.version+1 {
+		x.stale = true
+		return
+	}
+	x.version = c.Version
+	x.stats = nil
+	switch c.Kind {
+	case core.ChangeInsert:
+		if x.interval != nil {
+			x.interval.Add(c.New, c.Pos)
+		}
+		for _, ix := range x.attrs {
+			ix.Add(c.New)
+		}
+	case core.ChangeMerge:
+		if x.interval != nil {
+			x.interval.Replace(c.Old, c.New, c.Pos)
+		}
+		for _, ix := range x.attrs {
+			ix.Replace(c.Old, c.New)
+		}
+	}
+	metrics.incremental.Add(1)
+}
+
+// freshSnapshotLocked brings every built structure up to the relation's
+// current version when the set is stale or the caller is about to build
+// a new structure at a version ahead of x.version. It returns a tuple
+// snapshot consistent with x.version for the caller's own build.
+func (x *RelIndexes) freshSnapshotLocked() []*core.Tuple {
+	ts, v := x.rel.SnapshotVersion()
+	if x.stale || v != x.version {
+		if x.interval != nil || len(x.attrs) > 0 {
+			metrics.resyncs.Add(1)
+			if x.interval != nil {
+				x.interval = newIntervalIndexFrom(ts)
+			}
+			for name := range x.attrs {
+				x.attrs[name] = newAttrIndexFrom(ts, name)
+			}
+		}
+		x.version = v
+		x.stale = false
+		x.stats = nil
+	}
+	return ts
 }
 
 // Interval returns the relation's lifespan interval index, building it
@@ -65,8 +166,9 @@ func Indexes(r *core.Relation) *RelIndexes {
 func (x *RelIndexes) Interval() *IntervalIndex {
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	ts := x.freshSnapshotLocked()
 	if x.interval == nil {
-		x.interval = NewIntervalIndex(x.rel)
+		x.interval = newIntervalIndexFrom(ts)
 	}
 	return x.interval
 }
@@ -76,9 +178,10 @@ func (x *RelIndexes) Interval() *IntervalIndex {
 func (x *RelIndexes) Attr(name string) *AttrIndex {
 	x.mu.Lock()
 	defer x.mu.Unlock()
+	ts := x.freshSnapshotLocked()
 	ix, ok := x.attrs[name]
 	if !ok {
-		ix = NewAttrIndex(x.rel, name)
+		ix = newAttrIndexFrom(ts, name)
 		x.attrs[name] = ix
 	}
 	return ix

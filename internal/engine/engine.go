@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"repro/internal/hql"
 	"repro/internal/storage"
 )
@@ -9,42 +11,70 @@ import (
 // the storage layer's index builder: any program that imports this
 // package (the CLI, the benchmark harness, storage-loading services)
 // transparently routes hql.Run / hql.Eval through indexed physical
-// plans, and stores rebuild their indexes on load. Planning failures
-// fall back to the naive evaluator, which either runs the query or
-// reports the definitive semantic error, so installation never changes
-// observable behavior — only speed.
+// plans — memoized in the plan cache, so repeated queries skip
+// planning — and stores rebuild their indexes on load. Planning
+// failures fall back to the naive evaluator, which either runs the
+// query or reports the definitive semantic error, so installation never
+// changes observable behavior — only speed.
 func init() {
 	storage.IndexBuilder = BuildIndexes
 	hql.SetPlanner(func(e hql.Expr, env hql.Env) (hql.Result, bool, error) {
-		p, err := PlanQuery(e, env)
-		if err != nil {
-			return hql.Result{}, false, nil
-		}
-		res, err := p.Execute()
-		if err != nil {
-			return hql.Result{}, true, err
-		}
-		return res, true, nil
+		return planAndRun(e, env, "")
 	})
 }
 
 // Run parses, plans and executes a query through the engine, falling
-// back to the naive evaluator when the expression cannot be planned.
+// back to the naive evaluator when the expression cannot be planned. A
+// plan cached under the query's normalized text short-circuits before
+// the parser runs.
 func Run(src string, env hql.Env) (hql.Result, error) {
+	srcKey := srcCacheKey(src)
+	if p, ok := planCache.lookup(srcKey, env, false); ok {
+		planCache.countHit()
+		return p.Execute()
+	}
 	e, err := hql.Parse(src)
 	if err != nil {
 		return hql.Result{}, err
 	}
-	return Eval(e, env)
+	res, handled, err := planAndRun(e, env, srcKey)
+	if handled || err != nil {
+		return res, err
+	}
+	return hql.EvalNaive(e, env)
 }
 
-// Eval plans and executes a parsed expression, with naive fallback.
+// Eval plans and executes a parsed expression, with plan caching and
+// naive fallback.
 func Eval(e hql.Expr, env hql.Env) (hql.Result, error) {
+	res, handled, err := planAndRun(e, env, "")
+	if handled || err != nil {
+		return res, err
+	}
+	return hql.EvalNaive(e, env)
+}
+
+// planAndRun is the shared execution path behind Eval, Run and the hql
+// planner hook: consult the plan cache under the expression's canonical
+// rendering, else compile, cache and execute. srcKey, when non-empty,
+// is additionally registered as an alias so the raw query text hits
+// before its next parse. handled=false (with nil error) means the
+// planner cannot compile the expression and the caller should fall back
+// to the naive evaluator.
+func planAndRun(e hql.Expr, env hql.Env, srcKey string) (hql.Result, bool, error) {
+	key := astCacheKey(e)
+	if p, ok := planCache.lookup(key, env, true); ok {
+		planCache.addKey(p, srcKey)
+		res, err := p.Execute()
+		return res, true, err
+	}
 	p, err := PlanQuery(e, env)
 	if err != nil {
-		return hql.EvalNaive(e, env)
+		return hql.Result{}, false, nil
 	}
-	return p.Execute()
+	planCache.store([]string{srcKey, key}, p)
+	res, err := p.Execute()
+	return res, true, err
 }
 
 // Explain parses and plans a query and renders the chosen physical
@@ -54,7 +84,9 @@ func Eval(e hql.Expr, env hql.Env) (hql.Result, error) {
 // resolve to price its index probes, so a WHEN sub-query does run
 // during EXPLAIN. When optimize is set, the Section 5 law-based
 // rewriter runs first, so the output shows the plan of the rewritten
-// expression — the same one Run would execute.
+// expression — the same one Run would execute. The output ends with
+// the statistics the planner consulted and the query's plan-cache
+// status (EXPLAIN itself neither reads from nor populates the cache).
 func Explain(src string, env hql.Env, optimize bool) (string, error) {
 	e, err := hql.Parse(src)
 	if err != nil {
@@ -67,5 +99,11 @@ func Explain(src string, env hql.Env, optimize bool) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return "query: " + e.String() + "\n" + p.Explain(), nil
+	status := "miss (first run compiles and caches the plan)"
+	if planCache.peek(astCacheKey(e), env) || planCache.peek(srcCacheKey(src), env) {
+		status = "hit (repeated runs skip parse and plan)"
+	}
+	hits, misses, entries := PlanCacheStats()
+	return fmt.Sprintf("query: %s\n%s\nplan-cache: %s [%d hits / %d misses, %d cached]",
+		e.String(), p.Explain(), status, hits, misses, entries), nil
 }

@@ -6,16 +6,22 @@
 // adds the classic relational-engine machinery on top without touching
 // the model semantics: a lifespan interval index (which tuples are alive
 // over [t1,t2] in O(log n + k)), key/attribute hash indexes over the
-// constant-valued functions the paper's CD domains guarantee, and a
+// constant-valued functions the paper's CD domains guarantee, a
 // cost-aware planner that lowers parsed HQL expressions into streaming
-// iterator plans with selection and time-slice pushdown, falling back to
-// the naive evaluator wherever no index applies. Importing the package
-// installs the planner as internal/hql's evaluation hook; equivalence
-// with the naive evaluator is property-tested over randomized workloads.
+// iterator plans with selection and time-slice pushdown (falling back to
+// the naive evaluator wherever no index applies), per-relation
+// statistics feeding the planner's selectivity and join estimates, and
+// a plan cache that lets repeated queries skip parse and plan entirely.
+// Indexes absorb single-tuple inserts and merges incrementally from
+// relation change notifications instead of rebuilding. Importing the
+// package installs the planner as internal/hql's evaluation hook;
+// equivalence with the naive evaluator is property-tested over
+// randomized workloads.
 package engine
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/chronon"
 	"repro/internal/core"
@@ -32,16 +38,151 @@ type ientry struct {
 	t   *core.Tuple
 }
 
-// IntervalIndex is a static centered interval tree over the lifespan
-// intervals of a relation's tuples. It answers "which tuples are alive
-// at some time of L" in O(log n + k) against the naive O(n·|intervals|)
-// scan. The index is immutable once built; the catalog rebuilds it when
-// the relation's version moves.
+// IntervalIndex is a centered interval tree over the lifespan intervals
+// of a relation's tuples. It answers "which tuples are alive at some
+// time of L" in O(log n + k) against the naive O(n·|intervals|) scan.
+// The tree itself is static, but the index as a whole is incrementally
+// maintainable: single-tuple inserts and merges land in a small overlay
+// (extra entries plus a dead set for merged-away tuples) that queries
+// scan linearly alongside the tree; when the overlay grows past a
+// threshold it is compacted back into a fresh tree. The catalog feeds
+// the overlay from relation change notifications.
 type IntervalIndex struct {
+	mu       sync.RWMutex
 	root     *inode
-	tuples   int // tuples indexed
-	entries  int // lifespan intervals indexed
+	tuples   int // tuples indexed (logical, including overlay)
+	entries  int // lifespan intervals indexed (logical)
 	maxDepth int
+
+	// overlay: entries added since the tree was built, and tree/overlay
+	// entries whose tuple a merge replaced.
+	extra []ientry
+	dead  map[*core.Tuple]bool
+
+	// lifespan geometry for the statistics object. covered is the
+	// summed length of all live entries (in chronons, as float64 to
+	// absorb the ±2^62 sentinels); lo/hi bound every entry ever added —
+	// merges may leave them over-wide, which only softens estimates.
+	covered float64
+	lo, hi  chronon.Time
+}
+
+// NewIntervalIndex builds the index over r's tuples.
+func NewIntervalIndex(r *core.Relation) *IntervalIndex {
+	return newIntervalIndexFrom(r.Tuples())
+}
+
+// newIntervalIndexFrom builds the index from a stable tuple snapshot.
+func newIntervalIndexFrom(ts []*core.Tuple) *IntervalIndex {
+	var es []ientry
+	for ord, t := range ts {
+		for _, iv := range t.Lifespan().Intervals() {
+			es = append(es, ientry{iv: iv, ord: ord, t: t})
+		}
+	}
+	ix := &IntervalIndex{tuples: len(ts)}
+	ix.resetTreeLocked(es)
+	return ix
+}
+
+// resetTreeLocked replaces the tree with one built from es and clears
+// the overlay. Callers hold ix.mu (or own ix exclusively).
+func (ix *IntervalIndex) resetTreeLocked(es []ientry) {
+	metrics.intervalBuilds.Add(1)
+	ix.entries = len(es)
+	ix.maxDepth = 0
+	ix.extra = nil
+	ix.dead = nil
+	ix.covered, ix.lo, ix.hi = 0, 0, 0
+	for i, e := range es {
+		ix.noteEntryLocked(e.iv, i == 0)
+	}
+	ix.root = build(es, 1, &ix.maxDepth)
+}
+
+// noteEntryLocked folds one entry into the geometry statistics.
+func (ix *IntervalIndex) noteEntryLocked(iv chronon.Interval, first bool) {
+	ix.covered += ivLen(iv)
+	if first || iv.Lo < ix.lo {
+		ix.lo = iv.Lo
+	}
+	if first || iv.Hi > ix.hi {
+		ix.hi = iv.Hi
+	}
+}
+
+// ivLen returns the length of a closed interval in chronons as a float
+// (the ±2^62 infinity sentinels overflow int64 arithmetic).
+func ivLen(iv chronon.Interval) float64 {
+	return float64(iv.Hi) - float64(iv.Lo) + 1
+}
+
+// Add absorbs a single inserted tuple at position pos.
+func (ix *IntervalIndex) Add(t *core.Tuple, pos int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.addLocked(t, pos)
+	ix.tuples++
+	ix.maybeCompactLocked()
+}
+
+// Replace absorbs a merge: the relation replaced old with new at pos.
+func (ix *IntervalIndex) Replace(old, new *core.Tuple, pos int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.dead == nil {
+		ix.dead = make(map[*core.Tuple]bool)
+	}
+	ix.dead[old] = true
+	ix.entries -= old.Lifespan().NumIntervals()
+	for _, iv := range old.Lifespan().Intervals() {
+		ix.covered -= ivLen(iv)
+	}
+	ix.addLocked(new, pos)
+	ix.maybeCompactLocked()
+}
+
+func (ix *IntervalIndex) addLocked(t *core.Tuple, pos int) {
+	for _, iv := range t.Lifespan().Intervals() {
+		ix.extra = append(ix.extra, ientry{iv: iv, ord: pos, t: t})
+		ix.noteEntryLocked(iv, ix.entries == 0 && len(ix.extra) == 1)
+		ix.entries++
+	}
+}
+
+// maybeCompactLocked folds a grown overlay back into the tree, keeping
+// query cost O(log n + k + overlay) with a small bounded overlay.
+func (ix *IntervalIndex) maybeCompactLocked() {
+	load := len(ix.extra) + len(ix.dead)
+	if load <= 64 || load <= ix.entries/8 {
+		return
+	}
+	es := make([]ientry, 0, ix.entries)
+	walk(ix.root, func(e ientry) {
+		if !ix.dead[e.t] {
+			es = append(es, e)
+		}
+	})
+	for _, e := range ix.extra {
+		if !ix.dead[e.t] {
+			es = append(es, e)
+		}
+	}
+	tuples := ix.tuples
+	ix.resetTreeLocked(es)
+	ix.tuples = tuples
+}
+
+// walk visits every entry stored in the tree.
+func walk(n *inode, f func(ientry)) {
+	if n == nil {
+		return
+	}
+	for _, e := range n.byLo {
+		f(e)
+	}
+	walk(n.left, f)
+	walk(n.right, f)
 }
 
 // inode is one node of the centered tree: entries overlapping center are
@@ -52,20 +193,6 @@ type inode struct {
 	left, right *inode
 	byLo        []ientry // sorted by iv.Lo ascending
 	byHi        []ientry // sorted by iv.Hi descending
-}
-
-// NewIntervalIndex builds the index over r's tuples.
-func NewIntervalIndex(r *core.Relation) *IntervalIndex {
-	ts := r.Tuples()
-	var es []ientry
-	for ord, t := range ts {
-		for _, iv := range t.Lifespan().Intervals() {
-			es = append(es, ientry{iv: iv, ord: ord, t: t})
-		}
-	}
-	ix := &IntervalIndex{tuples: len(ts), entries: len(es)}
-	ix.root = build(es, 1, &ix.maxDepth)
-	return ix
 }
 
 // build recursively constructs the centered tree. The center is the
@@ -104,10 +231,27 @@ func build(es []ientry, depth int, maxDepth *int) *inode {
 }
 
 // Tuples returns the number of tuples indexed.
-func (ix *IntervalIndex) Tuples() int { return ix.tuples }
+func (ix *IntervalIndex) Tuples() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tuples
+}
 
-// Entries returns the number of lifespan intervals indexed.
-func (ix *IntervalIndex) Entries() int { return ix.entries }
+// Entries returns the number of live lifespan intervals indexed.
+func (ix *IntervalIndex) Entries() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.entries
+}
+
+// Geometry returns the summed covered chronons of all live entries and
+// the bounding interval of everything ever indexed — the raw material
+// for the statistics object's lifespan density.
+func (ix *IntervalIndex) Geometry() (covered float64, span chronon.Interval) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.covered, chronon.Interval{Lo: ix.lo, Hi: ix.hi}
+}
 
 // visit walks every entry whose interval overlaps [qlo,qhi].
 func (n *inode) visit(qlo, qhi chronon.Time, f func(ientry)) {
@@ -144,21 +288,34 @@ func (n *inode) visit(qlo, qhi chronon.Time, f func(ientry)) {
 	}
 }
 
-// collect walks the tree once and returns the deduplicated matches:
-// the ord→tuple map and the (unsorted) ord list.
+// collect walks the tree and overlay once and returns the deduplicated
+// matches: the ord→tuple map and the (unsorted) ord list. Entries whose
+// tuple a merge replaced are skipped; the merged tuple's overlay entries
+// reuse the original ordinal, keeping candidate order deterministic.
 func (ix *IntervalIndex) collect(L lifespan.Lifespan) (map[int]*core.Tuple, []int) {
-	if L.IsEmpty() || ix.root == nil {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if L.IsEmpty() || (ix.root == nil && len(ix.extra) == 0) {
 		return nil, nil
 	}
 	seen := make(map[int]*core.Tuple)
 	ords := make([]int, 0, 16)
+	hit := func(e ientry) {
+		if ix.dead[e.t] {
+			return
+		}
+		if _, dup := seen[e.ord]; !dup {
+			seen[e.ord] = e.t
+			ords = append(ords, e.ord)
+		}
+	}
 	for _, qv := range L.Intervals() {
-		ix.root.visit(qv.Lo, qv.Hi, func(e ientry) {
-			if _, dup := seen[e.ord]; !dup {
-				seen[e.ord] = e.t
-				ords = append(ords, e.ord)
+		ix.root.visit(qv.Lo, qv.Hi, hit)
+		for _, e := range ix.extra {
+			if e.iv.Lo <= qv.Hi && e.iv.Hi >= qv.Lo {
+				hit(e)
 			}
-		})
+		}
 	}
 	return seen, ords
 }

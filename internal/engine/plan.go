@@ -141,10 +141,14 @@ func (n *indexTimeSliceNode) describe() string {
 }
 
 // timeSliceNode restricts each tuple of its child to L — the pushdown
-// residual used when the source is not a base relation.
+// residual used when the source is not a base relation, or when the
+// interval index would touch nearly everything. sel is the estimated
+// fraction of tuples surviving the restriction (interval-geometry
+// statistics over base relations, 1 where unknown).
 type timeSliceNode struct {
 	child node
 	L     lifespan.Lifespan
+	sel   float64
 }
 
 func (n *timeSliceNode) scheme() *schema.Scheme { return n.child.scheme() }
@@ -175,7 +179,7 @@ func (n *timeSliceNode) exec() (*core.Relation, error) {
 }
 func (n *timeSliceNode) estimate() cost {
 	c := n.child.estimate()
-	return cost{rows: c.rows, work: c.work + c.rows}
+	return cost{rows: c.rows * n.sel, work: c.work + c.rows}
 }
 func (n *timeSliceNode) describe() string {
 	return fmt.Sprintf("time-slice at %s", n.L)
@@ -186,13 +190,16 @@ func (n *timeSliceNode) describe() string {
 
 // filterNode applies a SELECT-IF or SELECT-WHEN condition per child
 // tuple, streaming. Semantics mirror core.SelectIfCond/SelectWhenCond
-// exactly, including vacuous ∀ over an empty scope.
+// exactly, including vacuous ∀ over an empty scope. sel is the
+// condition's estimated selectivity — statistics-derived over base
+// relations, comparator defaults otherwise.
 type filterNode struct {
 	child  node
 	cond   core.Condition
 	when   bool
 	forAll bool
 	L      lifespan.Lifespan
+	sel    float64
 }
 
 func (n *filterNode) scheme() *schema.Scheme { return n.child.scheme() }
@@ -227,7 +234,7 @@ func (n *filterNode) exec() (*core.Relation, error) {
 }
 func (n *filterNode) estimate() cost {
 	c := n.child.estimate()
-	return cost{rows: c.rows / 2, work: c.work + c.rows}
+	return cost{rows: c.rows * n.sel, work: c.work + c.rows}
 }
 func (n *filterNode) describe() string {
 	return fmt.Sprintf("filter %s %s%s", selKind(n.when, n.forAll), n.cond, duringSuffix(n.L))
@@ -528,6 +535,13 @@ func logN(n int) float64 {
 
 func maxf(a, b float64) float64 {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
 		return a
 	}
 	return b

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/hql"
+)
+
+// The plan cache memoizes compiled physical plans so repeated queries
+// skip parsing and planning — including the plan-time index probes that
+// resolve candidate sets and the WHEN sub-queries evaluated for AT and
+// DURING lifespans. An entry is keyed by normalized query text (the
+// raw source via hql.NormalizeQuery, and the parsed expression's
+// canonical rendering, so textual and structural repeats both hit) and
+// fenced by the plan's (relation, version) dependencies: any insert or
+// merge into a relation the plan touches moves that relation's version
+// and the stale entry is dropped on its next lookup. Because plans pin
+// relation pointers, a swapped environment (e.g. the CLI's \load)
+// fails the same fence and replans rather than serving results from
+// the old store.
+
+// cacheEntry is one cached plan with the keys it is registered under.
+type cacheEntry struct {
+	plan *Plan
+	keys []string
+	elem *list.Element
+}
+
+type planCacheT struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	lru     *list.List // of *cacheEntry; front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+// maxPlanCache bounds the cache: an LRU of compiled plans, whose
+// footprint tracks the distinct-query working set, not the database.
+const maxPlanCache = 256
+
+var planCache = &planCacheT{entries: make(map[string]*cacheEntry), lru: list.New()}
+
+// lookup returns the cached, still-valid plan under key, dropping the
+// entry (and counting a miss) when its dependency fence fails. count
+// controls whether the hit/miss counters move — the raw-source alias
+// lookup passes false so one query never counts twice.
+func (pc *planCacheT) lookup(key string, env hql.Env, count bool) (*Plan, bool) {
+	if key == "" {
+		return nil, false
+	}
+	pc.mu.Lock()
+	ent, ok := pc.entries[key]
+	if ok {
+		pc.lru.MoveToFront(ent.elem)
+	}
+	pc.mu.Unlock()
+	if ok && !ent.plan.valid(env) {
+		pc.mu.Lock()
+		pc.removeLocked(ent)
+		pc.mu.Unlock()
+		ok = false
+	}
+	if count {
+		pc.mu.Lock()
+		if ok {
+			pc.hits++
+		} else {
+			pc.misses++
+		}
+		pc.mu.Unlock()
+	}
+	if !ok {
+		return nil, false
+	}
+	return ent.plan, true
+}
+
+// countHit records a hit found through an uncounted alias lookup.
+func (pc *planCacheT) countHit() {
+	pc.mu.Lock()
+	pc.hits++
+	pc.mu.Unlock()
+}
+
+// peek reports whether a valid entry exists under key without touching
+// LRU order or the hit/miss counters — EXPLAIN's read-only probe.
+func (pc *planCacheT) peek(key string, env hql.Env) bool {
+	pc.mu.Lock()
+	ent, ok := pc.entries[key]
+	pc.mu.Unlock()
+	return ok && ent.plan.valid(env)
+}
+
+// store registers p under every non-empty key (replacing older entries
+// those keys pointed at) and evicts least-recently-used plans beyond
+// the bound.
+func (pc *planCacheT) store(keys []string, p *Plan) {
+	clean := keys[:0:0]
+	for _, k := range keys {
+		if k != "" {
+			clean = append(clean, k)
+		}
+	}
+	if len(clean) == 0 {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.sweepStaleLocked()
+	ent := &cacheEntry{plan: p, keys: clean}
+	ent.elem = pc.lru.PushFront(ent)
+	for _, k := range clean {
+		if old, ok := pc.entries[k]; ok && old != ent {
+			pc.removeLocked(old)
+		}
+		pc.entries[k] = ent
+	}
+	for pc.lru.Len() > maxPlanCache {
+		pc.removeLocked(pc.lru.Back().Value.(*cacheEntry))
+	}
+}
+
+// sweepStaleLocked drops every entry one of whose pinned relations has
+// mutated since planning. Versions are monotone, so such a fence can
+// never pass again; without the sweep an invalidated entry is only
+// evicted when its exact query text is looked up again (or by LRU
+// overflow), retaining dead candidate slices and relation generations
+// meanwhile. Runs on each store — i.e. once per compile, over at most
+// maxPlanCache entries. Entries from a swapped-out environment (same
+// versions, different store) are not caught here; the CLI clears the
+// cache on \load for that.
+func (pc *planCacheT) sweepStaleLocked() {
+	var next *list.Element
+	for e := pc.lru.Front(); e != nil; e = next {
+		next = e.Next()
+		ent := e.Value.(*cacheEntry)
+		for _, d := range ent.plan.deps {
+			if d.rel.Version() != d.version {
+				pc.removeLocked(ent)
+				break
+			}
+		}
+	}
+}
+
+// maxAliasKeys bounds the spellings one entry may be registered under.
+// Without it, a stream of whitespace-variant spellings of one query
+// would grow the entries map without bound while the LRU stays at a
+// compliant length; past the cap, variant spellings still hit through
+// the canonical AST key after their parse.
+const maxAliasKeys = 8
+
+// addKey registers an additional alias key for an already-cached plan
+// (e.g. the raw-source spelling of a query first seen pre-parsed).
+func (pc *planCacheT) addKey(p *Plan, key string) {
+	if key == "" {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for e := pc.lru.Front(); e != nil; e = e.Next() {
+		ent := e.Value.(*cacheEntry)
+		if ent.plan == p {
+			if len(ent.keys) >= maxAliasKeys {
+				return
+			}
+			if old, ok := pc.entries[key]; ok && old != ent {
+				pc.removeLocked(old)
+			}
+			pc.entries[key] = ent
+			ent.keys = append(ent.keys, key)
+			return
+		}
+	}
+}
+
+func (pc *planCacheT) removeLocked(ent *cacheEntry) {
+	for _, k := range ent.keys {
+		if pc.entries[k] == ent {
+			delete(pc.entries, k)
+		}
+	}
+	if ent.elem != nil {
+		pc.lru.Remove(ent.elem)
+		ent.elem = nil
+	}
+}
+
+// PlanCacheStats reports the cache's cumulative hit and miss counts and
+// its current size.
+func PlanCacheStats() (hits, misses uint64, entries int) {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	return planCache.hits, planCache.misses, planCache.lru.Len()
+}
+
+// ResetPlanCache empties the plan cache and zeroes its counters. The
+// benchmark harness uses it to measure cold plan-and-execute against
+// cached execution; tests use it for isolation.
+func ResetPlanCache() {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	planCache.entries = make(map[string]*cacheEntry)
+	planCache.lru = list.New()
+	planCache.hits, planCache.misses = 0, 0
+}
+
+// srcCacheKey / astCacheKey build the two key namespaces: normalized
+// raw source and canonical AST rendering.
+func srcCacheKey(src string) string { return "src:" + hql.NormalizeQuery(src) }
+func astCacheKey(e hql.Expr) string { return "ast:" + e.String() }

@@ -1,0 +1,60 @@
+package hql
+
+import (
+	"strings"
+	"unicode"
+)
+
+// NormalizeQuery canonicalizes a query's insignificant whitespace:
+// leading and trailing space is dropped and interior runs collapse to a
+// single blank, while quoted string literals (either quote style, with
+// backslash escapes, as the lexer accepts them) pass through verbatim.
+// The result is a stable cache key for textually repeated queries —
+// two spellings that normalize equally lex identically — letting the
+// engine's plan cache skip parse and plan without understanding the
+// grammar. It never changes query semantics: unbalanced quotes and
+// other malformed input normalize conservatively and fail in the
+// parser as before.
+func NormalizeQuery(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	pending := false // a collapsed space waits to be emitted
+	for i := 0; i < len(src); {
+		c := src[i]
+		if c == '\'' || c == '"' {
+			if pending && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pending = false
+			quote := c
+			b.WriteByte(c)
+			i++
+			for i < len(src) {
+				b.WriteByte(src[i])
+				if src[i] == '\\' && i+1 < len(src) {
+					b.WriteByte(src[i+1])
+					i += 2
+					continue
+				}
+				if src[i] == quote {
+					i++
+					break
+				}
+				i++
+			}
+			continue
+		}
+		if unicode.IsSpace(rune(c)) {
+			pending = true
+			i++
+			continue
+		}
+		if pending && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		pending = false
+		b.WriteByte(c)
+		i++
+	}
+	return b.String()
+}

@@ -1,0 +1,29 @@
+package hql
+
+import "testing"
+
+func TestNormalizeQuery(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT  WHEN  SAL = 1  FROM EMP", "SELECT WHEN SAL = 1 FROM EMP"},
+		{"  TIMESLICE EMP AT {[0, 9]} ", "TIMESLICE EMP AT {[0, 9]}"},
+		{"a\t\nb", "a b"},
+		{"SELECT WHEN DEPT = 'Toy  Shop' FROM EMP", "SELECT WHEN DEPT = 'Toy  Shop' FROM EMP"},
+		{`SELECT WHEN DEPT = "a \' b" FROM EMP`, `SELECT WHEN DEPT = "a \' b" FROM EMP`},
+		{"SELECT WHEN DEPT = 'esc \\' quote  ' FROM X", "SELECT WHEN DEPT = 'esc \\' quote  ' FROM X"},
+		{"", ""},
+		{"   ", ""},
+		{"'unterminated   literal", "'unterminated   literal"},
+	}
+	for _, c := range cases {
+		if got := NormalizeQuery(c.in); got != c.want {
+			t.Errorf("NormalizeQuery(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Two spellings that normalize equally must lex identically — the
+	// property the plan cache's source keys rely on.
+	a := NormalizeQuery("SELECT   WHEN SAL =  30000 FROM EMP")
+	b := NormalizeQuery("SELECT WHEN SAL = 30000  FROM  EMP")
+	if a != b {
+		t.Fatalf("equivalent spellings normalize differently: %q vs %q", a, b)
+	}
+}

@@ -63,14 +63,11 @@ func (r *Relation) NumVersions() int {
 }
 
 func keyString(vals []value.Value, numKey int) string {
-	s := ""
+	parts := make([]string, numKey)
 	for i := 0; i < numKey; i++ {
-		if i > 0 {
-			s += "|"
-		}
-		s += vals[i].String()
+		parts[i] = vals[i].String()
 	}
-	return s
+	return value.EncodeKey(parts)
 }
 
 // Append records a version. Versions of one object must not overlap;

@@ -1,0 +1,36 @@
+package value
+
+import "strings"
+
+// EncodeKey combines the canonical renderings of a multi-attribute key
+// into one index string. Each part is escaped ('\' → `\\`, '|' → `\|`)
+// before the parts are joined with '|', so the encoding is injective: a
+// part containing the separator can never alias a different split,
+// e.g. ("a|b","c") vs ("a","b|c"). Every representation that indexes
+// composite keys by string — core relations, and the cube and
+// tuplestamp storage baselines — must encode through this function so
+// their canonical key strings agree and stay collision-free.
+func EncodeKey(parts []string) string {
+	n := 0
+	for _, p := range parts {
+		n += len(p) + 1
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		if !strings.ContainsAny(p, `\|`) {
+			b.WriteString(p)
+			continue
+		}
+		for j := 0; j < len(p); j++ {
+			if p[j] == '\\' || p[j] == '|' {
+				b.WriteByte('\\')
+			}
+			b.WriteByte(p[j])
+		}
+	}
+	return b.String()
+}
