@@ -138,6 +138,8 @@ func runEngineBench(args []string) error {
 	benchRepeatedQuery(&doc, st, "repeat_key_eq",
 		fmt.Sprintf(`SELECT WHEN NAME = '%s' FROM EMP`, keyName))
 	benchInsertHeavy(&doc, *n)
+	benchBulkLoad(&doc, *n)
+	benchMultiRelRace(&doc)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -276,6 +278,149 @@ func benchInsertHeavy(doc *benchFile, n int) {
 		doc.Speedups["insert_query_mix_incremental"] = s
 		fmt.Printf("  speedup: %.1f×\n", s)
 	}
+}
+
+// benchBulkLoad measures the batched bulk-load path against per-tuple
+// insertion: n tuples loaded into an index-warm, store-registered
+// relation either one Insert at a time (n publications, n observer
+// notifications, n single-tuple index overlays with their compaction
+// cascade) or via one InsertBatch (one publication, one coalesced
+// index merge). Tuple construction is hoisted out of both timed
+// regions, so the ratio isolates the write path itself.
+func benchBulkLoad(doc *benchFile, n int) {
+	fmt.Printf("bulk_load: %d tuples, per-tuple inserts vs one batch (warm indexes)\n", n)
+	src := workload.Personnel(workload.PersonnelConfig{
+		NumEmployees: n, HistoryLen: 100000, ChangeEvery: 25,
+		ReincarnationProb: 0.2, MaxTenure: 40, Seed: 99,
+	})
+	tuples := src.Tuples()
+
+	run := func(variant string, load func(dst *core.Relation) error) benchResult {
+		dst := core.NewRelation(src.Scheme())
+		st := storage.NewStore()
+		st.Put(dst)
+		st.RebuildIndexes()
+		engine.Indexes(dst).Attr("DEPT")
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		if err := load(dst); err != nil {
+			panic(fmt.Sprintf("bulk_load %s: %v", variant, err))
+		}
+		total := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		engine.InvalidateIndexes(dst)
+		r := benchResult{Op: "bulk_load", Variant: variant, N: n, Iters: n,
+			NsPerOp:     total.Nanoseconds() / int64(n),
+			AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / int64(n),
+			BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / int64(n),
+			ResultRows:  dst.Cardinality()}
+		fmt.Printf("  %-28s %-8s %14d ns/op %12d allocs/op %8d rows (total %s)\n",
+			"bulk_load", variant, r.NsPerOp, r.AllocsPerOp, r.ResultRows, total)
+		doc.Results = append(doc.Results, r)
+		return r
+	}
+	per := run("per_tuple", func(dst *core.Relation) error {
+		for _, t := range tuples {
+			if err := dst.Insert(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	batch := run("batch", func(dst *core.Relation) error {
+		return dst.InsertBatch(tuples)
+	})
+	if batch.NsPerOp > 0 {
+		s := float64(per.NsPerOp) / float64(batch.NsPerOp)
+		doc.Speedups["bulk_load"] = s
+		fmt.Printf("  speedup: %.1f×\n", s)
+	}
+}
+
+// benchMultiRelRace measures snapshot-pinned multi-relation querying
+// under a concurrent batch writer — the scenario the epoch layer
+// exists for. A writer batch-loads the same keys into A then B while
+// readers run `B MINUS A` (empty at every epoch-consistent cut) and
+// `A MINUS B` (whole batches only); the scenario records mean query
+// latency under write pressure and counts consistency violations,
+// which must be zero.
+func benchMultiRelRace(doc *benchFile) {
+	const rounds, batchN = 400, 50
+	fmt.Printf("multi_rel_race: queries racing %d×%d-tuple batches across two relations\n",
+		rounds, batchN)
+	full := lifespan.Interval(0, 999)
+	mkScheme := func(name string) *schema.Scheme {
+		return schema.MustNew(name, []string{"K"},
+			schema.Attribute{Name: "K", Domain: value.Strings, Lifespan: full},
+			schema.Attribute{Name: "V", Domain: value.Ints, Lifespan: full, Interp: "step"},
+		)
+	}
+	sa, sb := mkScheme("A"), mkScheme("B")
+	a, b := core.NewRelation(sa), core.NewRelation(sb)
+	st := storage.NewStore()
+	st.Put(a)
+	st.Put(b)
+	st.RebuildIndexes()
+
+	stop := make(chan struct{})
+	var writerErr error
+	go func() {
+		defer close(stop)
+		for i := 0; i < rounds; i++ {
+			mk := func(s *schema.Scheme) []*core.Tuple {
+				ts := make([]*core.Tuple, batchN)
+				for j := range ts {
+					ts[j] = core.NewTupleBuilder(s, lifespan.Interval(0, 9)).
+						Key("K", value.String_(fmt.Sprintf("k%06d", i*batchN+j))).
+						Set("V", 0, 9, value.Int(int64(j))).
+						MustBuild()
+				}
+				return ts
+			}
+			if writerErr = a.InsertBatch(mk(sa)); writerErr != nil {
+				return
+			}
+			if writerErr = b.InsertBatch(mk(sb)); writerErr != nil {
+				return
+			}
+		}
+	}()
+
+	// Query for as long as the writer is loading, so every measured
+	// query races live publications rather than a quiesced store.
+	violations, queries := 0, 0
+	start := time.Now()
+	for loading := true; loading; {
+		select {
+		case <-stop:
+			loading = false
+		default:
+		}
+		q := []string{`B MINUS A`, `A MINUS B`}[queries%2]
+		res, err := engine.Run(q, st)
+		if err != nil {
+			panic(fmt.Sprintf("multi_rel_race %s: %v", q, err))
+		}
+		n := res.Relation.Cardinality()
+		if (q == `B MINUS A` && n != 0) || (q == `A MINUS B` && n%batchN != 0) {
+			violations++
+		}
+		queries++
+	}
+	total := time.Since(start)
+	if writerErr != nil {
+		panic(fmt.Sprintf("multi_rel_race writer: %v", writerErr))
+	}
+	r := benchResult{Op: "multi_rel_race", Variant: "snapshot", N: rounds * batchN, Iters: queries,
+		NsPerOp:    total.Nanoseconds() / int64(queries),
+		ResultRows: violations}
+	fmt.Printf("  %-28s %-8s %14d ns/op %8d consistency violations (must be 0)\n",
+		"multi_rel_race", "snapshot", r.NsPerOp, violations)
+	if violations > 0 {
+		panic(fmt.Sprintf("multi_rel_race: %d epoch-consistency violations", violations))
+	}
+	doc.Results = append(doc.Results, r)
 }
 
 // benchRef builds the REF relation the equijoin probes: refN tuples

@@ -13,9 +13,10 @@
 // \loadtext PATH / \dumptext PATH use the human-editable text format
 // (see internal/storage/text.go), \q quits. EXPLAIN QUERY prints the
 // physical plan the engine would run — which indexes it probes, what
-// falls back to the naive operators, and the cost estimates — without
-// executing the plan (lifespan parameters, including WHEN sub-queries,
-// are still resolved during planning). Anything else is parsed as an
+// falls back to the naive operators, the cost estimates, and the
+// epoch snapshot a run would pin — without executing the plan
+// (lifespan parameters, including WHEN sub-queries, are still
+// resolved during planning). Anything else is parsed as an
 // HQL query; see
 // internal/hql for the grammar. Queries run through the cost-aware
 // planner of internal/engine (lifespan interval indexes plus key and
@@ -112,9 +113,11 @@ func main() {
 				fmt.Println("  error:", err)
 			} else {
 				st = loaded
-				// Plans cached against the old store can never validate
-				// again; drop them rather than pin its relations.
-				engine.ResetPlanCache()
+				// Plans pinned to swapped-out relations can never validate
+				// again; drop exactly those (they would otherwise pin the
+				// old store's relations in memory until LRU overflow),
+				// keeping any entry whose dependencies survived the swap.
+				engine.InvalidateStalePlans(st)
 				fmt.Println("  loaded", strings.Join(st.Names(), ", "))
 			}
 		case strings.HasPrefix(line, `\loadtext `):
@@ -130,7 +133,7 @@ func main() {
 				fmt.Println("  error:", err)
 			} else {
 				st = loaded
-				engine.ResetPlanCache()
+				engine.InvalidateStalePlans(st)
 				fmt.Println("  loaded", strings.Join(st.Names(), ", "))
 			}
 		case strings.HasPrefix(line, `\dumptext `):

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the publication layer that gives multi-relation readers
+// a transaction-consistent view of the database. The algebra of the
+// paper (and every operator in this package) is defined over a single
+// consistent database state; per-relation locks alone cannot provide
+// that to a query touching several relations while writers run — the
+// query could observe relation A before a writer's batch and relation
+// B after it. The fix is epoch-based snapshot isolation:
+//
+//   - Every mutation of a *published* relation (one that is reachable
+//     from a store, observed by an index catalog, or previously pinned)
+//     runs under a process-wide publish lock in shared mode and ticks a
+//     monotonically increasing database epoch. Writers to distinct
+//     relations still run concurrently; the relation's own mutex
+//     serializes same-relation writers as before.
+//   - Pin captures, under the publish lock in exclusive mode, one
+//     immutable version of each requested relation plus the epoch —
+//     a consistent cut: every publication is entirely before or
+//     entirely after the pin. The critical section is O(#relations)
+//     pointer copies; execution afterwards reads the pinned tuple
+//     slices with no locks at all (appends never touch a snapshot's
+//     prefix, merges copy-on-write).
+//   - Relations that were never published — operator intermediates,
+//     single-goroutine builds — skip the publish lock entirely, so
+//     result construction pays nothing for the isolation of base data.
+//
+// The polarity (writers shared, pins exclusive) is what makes
+// PinAtomic deadlock-free: a writer blocked on the publish lock holds
+// no other lock, so a pinner may freely read relation state (plan a
+// query, build an index) while it holds publishes out.
+
+// publish is the process-wide publication lock; epoch counts
+// publications. The epoch only moves under publish.mu (shared side),
+// so a Pin holding the exclusive side reads a stable value.
+var publish struct {
+	mu    sync.RWMutex
+	epoch atomic.Uint64
+}
+
+// Epoch returns the current database epoch: the number of publications
+// (inserts, merges, batches) applied to published relations so far.
+func Epoch() uint64 { return publish.epoch.Load() }
+
+// RelVersion is one pinned, immutable version of a relation: the tuple
+// prefix visible at the pin plus the mutation counter it reflects.
+// All methods are lock-free over the pinned slice; key lookups consult
+// the live relation's canonical-key map bounded by the pinned prefix
+// (keys are never deleted and tuple positions are append-stable, so
+// the live map answers exactly for every older version).
+type RelVersion struct {
+	rel     *Relation
+	tuples  []*Tuple
+	version uint64
+}
+
+// Rel returns the live relation this version was pinned from.
+func (v RelVersion) Rel() *Relation { return v.rel }
+
+// Tuples returns the pinned tuple slice; callers must not mutate it.
+func (v RelVersion) Tuples() []*Tuple { return v.tuples }
+
+// Version returns the relation mutation counter the version reflects.
+func (v RelVersion) Version() uint64 { return v.version }
+
+// Cardinality returns the number of tuples in the pinned version.
+func (v RelVersion) Cardinality() int { return len(v.tuples) }
+
+// Lookup resolves a key (one value per key attribute in scheme order,
+// canonical rendering) within the pinned version.
+func (v RelVersion) Lookup(keyVals ...string) (*Tuple, bool) {
+	return v.lookupKS(encodeKey(keyVals))
+}
+
+func (v RelVersion) lookupKS(ks string) (*Tuple, bool) {
+	i, ok := v.rel.keyPos(ks)
+	if !ok || i >= len(v.tuples) {
+		return nil, false
+	}
+	return v.tuples[i], true
+}
+
+// Resolve maps a tuple of the live relation (possibly newer than the
+// pin: inserted later, or the merged successor of a pinned tuple) to
+// its counterpart in this version. ok=false means the tuple's object
+// did not exist at the pin. Index probes against live structures use
+// it to restrict their candidates to the pinned state.
+func (v RelVersion) Resolve(t *Tuple) (*Tuple, bool) {
+	return v.lookupKS(t.keyString(v.rel.scheme))
+}
+
+// View wraps the pinned version as a read-only Relation, so the naive
+// algebra operators (which take *Relation operands) can run against a
+// consistent snapshot. Views share the pinned slice — construction is
+// O(1) — and reject mutation; key lookups delegate through the origin
+// relation bounded by the pinned prefix.
+func (v RelVersion) View() *Relation {
+	return &Relation{scheme: v.rel.scheme, tuples: v.tuples, version: v.version, origin: v.rel}
+}
+
+// Pin captures one consistent version of each relation plus the
+// database epoch: publications are excluded for the duration of the
+// capture, so the result is a cut of the global mutation order — no
+// publication is half-visible, and for any writer that batches into
+// several relations in sequence, the cut respects that sequence.
+func Pin(rels ...*Relation) (epoch uint64, vers []RelVersion) {
+	publish.mu.Lock()
+	defer publish.mu.Unlock()
+	return pinLocked(rels)
+}
+
+// PinAtomic runs prepare while publications are excluded and then pins
+// the relations it returns, all under one critical section. A query
+// engine uses it as the cannot-fail fallback when optimistic
+// plan-then-pin keeps losing races to writers: planning inside the
+// section is safe because blocked writers hold no relation locks.
+// A prepare error aborts the pin and is returned as-is.
+func PinAtomic(prepare func() ([]*Relation, error)) (epoch uint64, vers []RelVersion, err error) {
+	publish.mu.Lock()
+	defer publish.mu.Unlock()
+	rels, err := prepare()
+	if err != nil {
+		return 0, nil, err
+	}
+	epoch, vers = pinLocked(rels)
+	return epoch, vers, nil
+}
+
+// pinLocked captures the versions under the held publish lock. Each
+// relation's own mutex is still taken in read mode: a relation being
+// mutated right now on the unpublished fast path (its first pin is
+// racing its last private write) must not be captured mid-append.
+func pinLocked(rels []*Relation) (uint64, []RelVersion) {
+	vers := make([]RelVersion, len(rels))
+	for i, r := range rels {
+		r.published.Store(true)
+		r.mu.RLock()
+		r.shared.Store(true)
+		vers[i] = RelVersion{rel: r, tuples: r.tuples, version: r.version}
+		r.mu.RUnlock()
+	}
+	return publish.epoch.Load(), vers
+}
+
+// MarkPublished flags r as shared database state: from now on every
+// mutation publishes under the global lock and ticks the epoch.
+// Stores call it when a relation is registered; Observe and Pin imply
+// it. Relations never marked (operator intermediates) keep the cheap
+// single-mutex write path.
+func (r *Relation) MarkPublished() { r.published.Store(true) }
+
+// beginPublish enters the publication critical section when r is
+// published; the returned flag is handed back to endPublish. Writers
+// hold the shared side, so distinct relations publish concurrently;
+// the relation mutex (acquired after, never before) serializes
+// same-relation writers. Lock order publish.mu → r.mu is what every
+// pinner relies on.
+func (r *Relation) beginPublish() bool {
+	if !r.published.Load() {
+		return false
+	}
+	publish.mu.RLock()
+	return true
+}
+
+// endPublish leaves the critical section, ticking the epoch when a
+// mutation was actually published.
+func (r *Relation) endPublish(locked, mutated bool) {
+	if !locked {
+		return
+	}
+	if mutated {
+		publish.epoch.Add(1)
+	}
+	publish.mu.RUnlock()
+}

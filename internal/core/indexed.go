@@ -122,6 +122,16 @@ func SelectIfCondOver(r *Relation, c Condition, L lifespan.Lifespan, cand []*Tup
 // agreement lifespan for (t1, t2); pairs it omits must provably never
 // agree (e.g. both values constant and unequal).
 func EquiJoinProbe(r1, r2 *Relation, attrA, attrB string, probe func(t1 *Tuple) []*Tuple) (*Relation, error) {
+	return EquiJoinProbeOver(r1, r2, attrA, attrB, r1.Tuples(), probe)
+}
+
+// EquiJoinProbeOver is EquiJoinProbe streaming an externally supplied
+// tuple snapshot of r1 instead of its live state — the form a
+// snapshot-pinned query plan uses so the streamed side reflects the
+// pinned version even while writers append to r1. Soundness: ts must
+// be a consistent snapshot of r1's tuples (e.g. core.RelVersion's
+// pinned slice), and probe as for EquiJoinProbe.
+func EquiJoinProbeOver(r1, r2 *Relation, attrA, attrB string, ts []*Tuple, probe func(t1 *Tuple) []*Tuple) (*Relation, error) {
 	if !r1.scheme.DisjointAttrs(r2.scheme) {
 		return nil, fmt.Errorf("core: equi-join probe: schemes share attributes; rename first")
 	}
@@ -136,7 +146,7 @@ func EquiJoinProbe(r1, r2 *Relation, attrA, attrB string, probe func(t1 *Tuple) 
 		return nil, err
 	}
 	out := NewRelation(rs)
-	for _, t1 := range r1.Tuples() {
+	for _, t1 := range ts {
 		f1 := t1.Value(attrA)
 		if f1.IsNowhereDefined() {
 			continue

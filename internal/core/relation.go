@@ -21,15 +21,19 @@ import (
 // Tuples are kept in insertion order; byKey indexes the canonical key
 // string for the uniqueness check and merges.
 //
-// Concurrency: mutations (Insert, InsertMerging) and reads are
-// synchronized by an RWMutex, so any number of readers may run against
-// a relation that writers are growing. Reads hand out the tuple slice
-// as an immutable snapshot: appends never touch the prefix a snapshot
-// covers, and a merge that would overwrite a slot copies the slice
-// first when a snapshot is outstanding (the shared flag). Registered
-// observers are notified of each mutation after the write lock is
-// released, which lets external index structures absorb single-tuple
-// changes incrementally instead of rebuilding.
+// Concurrency: mutations (Insert, InsertMerging, InsertBatch) and
+// reads are synchronized by an RWMutex, so any number of readers may
+// run against a relation that writers are growing. Reads hand out the
+// tuple slice as an immutable snapshot: appends never touch the prefix
+// a snapshot covers, and a merge that would overwrite a slot copies
+// the slice first when a snapshot is outstanding (the shared flag).
+// Registered observers are notified of each mutation after the write
+// lock is released, which lets external index structures absorb
+// changes incrementally instead of rebuilding. Once a relation is
+// published (stored, observed, or pinned — see epoch.go), mutations
+// additionally run under the global publish lock and tick the database
+// epoch, so multi-relation readers can pin a transaction-consistent
+// snapshot across relations (Pin, RelVersion).
 type Relation struct {
 	scheme *schema.Scheme
 
@@ -47,6 +51,19 @@ type Relation struct {
 	// shared is set when a caller holds a snapshot of the tuples slice;
 	// the next merge copies the slice instead of writing in place.
 	shared atomic.Bool
+	// published is set once the relation becomes shared database state
+	// (registered in a store, observed, or pinned); from then on every
+	// mutation runs under the global publish lock and ticks the
+	// database epoch (see epoch.go). Unpublished relations — operator
+	// intermediates, single-goroutine builds — skip both.
+	published atomic.Bool
+	// origin, when non-nil, marks this relation as a frozen read-only
+	// view of a pinned version of origin: tuples is the immutable
+	// pinned slice, and key lookups delegate to origin's live key map
+	// bounded by the pinned prefix (keys are never deleted and
+	// positions are append-stable, so the live map answers exactly for
+	// every older version). Views reject mutation.
+	origin *Relation
 }
 
 // ChangeKind discriminates the two mutations a relation supports.
@@ -58,6 +75,11 @@ const (
 	// ChangeMerge replaced the tuple at Pos (Old) with its merge with
 	// an inserted tuple (New).
 	ChangeMerge
+	// ChangeBatch appended Batch starting at Pos under a single
+	// version bump — one notification for the whole bulk load, so
+	// observers can absorb it as one coalesced index merge instead of
+	// len(Batch) single-tuple overlays.
+	ChangeBatch
 )
 
 // Change describes one mutation of a relation. Version is the
@@ -66,9 +88,10 @@ const (
 // notification and fall back to a full rebuild.
 type Change struct {
 	Kind    ChangeKind
-	Pos     int    // tuple position affected
-	Old     *Tuple // replaced tuple (merges only)
-	New     *Tuple // inserted or merged tuple now at Pos
+	Pos     int      // tuple position affected (first position for batches)
+	Old     *Tuple   // replaced tuple (merges only)
+	New     *Tuple   // inserted or merged tuple now at Pos
+	Batch   []*Tuple // tuples appended at Pos (batches only)
 	Version uint64
 }
 
@@ -90,6 +113,9 @@ func (r *Relation) Scheme() *schema.Scheme { return r.scheme }
 
 // Cardinality returns the number of tuples (objects).
 func (r *Relation) Cardinality() int {
+	if r.origin != nil {
+		return len(r.tuples)
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.tuples)
@@ -99,6 +125,9 @@ func (r *Relation) Cardinality() int {
 // snapshot is stable under concurrent Insert/InsertMerging; callers
 // must not mutate it.
 func (r *Relation) Tuples() []*Tuple {
+	if r.origin != nil {
+		return r.tuples // frozen views are immutable
+	}
 	r.mu.RLock()
 	r.shared.Store(true)
 	ts := r.tuples
@@ -109,6 +138,9 @@ func (r *Relation) Tuples() []*Tuple {
 // SnapshotVersion returns a stable tuple snapshot together with the
 // version it reflects — the atomic pair index builders need.
 func (r *Relation) SnapshotVersion() ([]*Tuple, uint64) {
+	if r.origin != nil {
+		return r.tuples, r.version
+	}
 	r.mu.RLock()
 	r.shared.Store(true)
 	ts, v := r.tuples, r.version
@@ -118,7 +150,10 @@ func (r *Relation) SnapshotVersion() ([]*Tuple, uint64) {
 
 // Observe registers o for mutation notifications and returns the
 // relation version o's view of the relation should start from.
+// Observing implies publication: an observed relation is shared state
+// whose mutations must be visible to snapshot pins.
 func (r *Relation) Observe(o Observer) uint64 {
+	r.published.Store(true)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	obs := make([]Observer, len(r.observers), len(r.observers)+1)
@@ -142,16 +177,72 @@ func (r *Relation) Unobserve(o Observer) {
 
 // Insert adds a tuple, enforcing the key-disjointness condition.
 func (r *Relation) Insert(t *Tuple) error {
+	if r.origin != nil {
+		return errFrozen(r)
+	}
 	ks := t.keyString(r.scheme)
+	pub := r.beginPublish()
 	r.mu.Lock()
 	c, err := r.insertLocked(ks, t)
 	obs := r.observers
 	r.mu.Unlock()
+	r.endPublish(pub, err == nil)
 	if err != nil {
 		return err
 	}
 	notify(obs, r, c)
 	return nil
+}
+
+// InsertBatch adds many tuples as one atomic publication: the whole
+// batch is validated first (a duplicate key — within the batch or
+// against existing tuples — fails the call with nothing applied),
+// then appended under a single version bump and a single epoch tick,
+// and observers receive one coalesced ChangeBatch notification. Bulk
+// loading through it costs one index merge instead of len(ts)
+// single-tuple overlays, and readers pinning snapshots see the batch
+// entirely or not at all.
+func (r *Relation) InsertBatch(ts []*Tuple) error {
+	if r.origin != nil {
+		return errFrozen(r)
+	}
+	if len(ts) == 0 {
+		return nil
+	}
+	kss := make([]string, len(ts))
+	for i, t := range ts {
+		kss[i] = t.keyString(r.scheme)
+	}
+	pub := r.beginPublish()
+	r.mu.Lock()
+	inBatch := make(map[string]bool, len(kss))
+	for _, ks := range kss {
+		if _, dup := r.byKey[ks]; dup || inBatch[ks] {
+			r.mu.Unlock()
+			r.endPublish(pub, false)
+			return fmt.Errorf("core: relation %s: duplicate key %s in batch", r.scheme.Name, ks)
+		}
+		inBatch[ks] = true
+	}
+	pos := len(r.tuples)
+	// One append keeps the prefix property: outstanding snapshots cover
+	// only [0,pos).
+	r.tuples = append(r.tuples, ts...)
+	for i, ks := range kss {
+		r.byKey[ks] = pos + i
+	}
+	r.version++
+	c := Change{Kind: ChangeBatch, Pos: pos, Batch: ts, Version: r.version}
+	obs := r.observers
+	r.mu.Unlock()
+	r.endPublish(pub, true)
+	notify(obs, r, c)
+	return nil
+}
+
+// errFrozen reports a mutation attempt on a pinned-snapshot view.
+func errFrozen(r *Relation) error {
+	return fmt.Errorf("core: relation %s: frozen snapshot view is read-only", r.scheme.Name)
 }
 
 // insertLocked appends t under the write lock and returns the Change to
@@ -180,6 +271,9 @@ func notify(obs []Observer, r *Relation, c Change) {
 // built over the relation record it and catch up (or rebuild) when it
 // moves.
 func (r *Relation) Version() uint64 {
+	if r.origin != nil {
+		return r.version
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.version
@@ -197,13 +291,18 @@ func (r *Relation) MustInsert(t *Tuple) {
 // updates. If the existing tuple contradicts the new one, an error is
 // returned.
 func (r *Relation) InsertMerging(t *Tuple) error {
+	if r.origin != nil {
+		return errFrozen(r)
+	}
 	ks := t.keyString(r.scheme)
+	pub := r.beginPublish()
 	r.mu.Lock()
 	i, dup := r.byKey[ks]
 	if !dup {
 		c, err := r.insertLocked(ks, t)
 		obs := r.observers
 		r.mu.Unlock()
+		r.endPublish(pub, err == nil)
 		if err != nil {
 			return err
 		}
@@ -213,11 +312,13 @@ func (r *Relation) InsertMerging(t *Tuple) error {
 	old := r.tuples[i]
 	if !old.Mergable(t, r.scheme) {
 		r.mu.Unlock()
+		r.endPublish(pub, false)
 		return fmt.Errorf("core: relation %s: tuple with key %s contradicts existing history", r.scheme.Name, ks)
 	}
 	m, err := old.Merge(t)
 	if err != nil {
 		r.mu.Unlock()
+		r.endPublish(pub, false)
 		return err
 	}
 	// A merge overwrites a slot an outstanding snapshot may cover; copy
@@ -233,6 +334,7 @@ func (r *Relation) InsertMerging(t *Tuple) error {
 	c := Change{Kind: ChangeMerge, Pos: i, Old: old, New: m, Version: r.version}
 	obs := r.observers
 	r.mu.Unlock()
+	r.endPublish(pub, true)
 	notify(obs, r, c)
 	return nil
 }
@@ -243,7 +345,26 @@ func (r *Relation) InsertMerging(t *Tuple) error {
 // with the same collision-free encoding the relation indexes by, so a
 // key value containing the separator cannot alias a different key.
 func (r *Relation) Lookup(keyVals ...string) (*Tuple, bool) {
-	ks := encodeKey(keyVals)
+	return r.lookupKS(encodeKey(keyVals))
+}
+
+// lookupTuple finds the relation's tuple sharing o's key values.
+func (r *Relation) lookupTuple(o *Tuple) (*Tuple, bool) {
+	return r.lookupKS(o.keyString(r.scheme))
+}
+
+// lookupKS resolves a canonical key string to the tuple holding it —
+// in the pinned prefix for frozen views, in live state otherwise. The
+// live path holds the read lock across map lookup and tuple fetch: a
+// concurrent merge may overwrite the slot in place.
+func (r *Relation) lookupKS(ks string) (*Tuple, bool) {
+	if r.origin != nil {
+		i, ok := r.keyPos(ks)
+		if !ok {
+			return nil, false
+		}
+		return r.tuples[i], true // pinned slice, immutable
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	i, ok := r.byKey[ks]
@@ -253,16 +374,22 @@ func (r *Relation) Lookup(keyVals ...string) (*Tuple, bool) {
 	return r.tuples[i], true
 }
 
-// lookupTuple finds the relation's tuple sharing o's key values.
-func (r *Relation) lookupTuple(o *Tuple) (*Tuple, bool) {
-	ks := o.keyString(r.scheme)
+// keyPos resolves a canonical key string to its tuple position. Frozen
+// views delegate to their origin's live key map and bound the answer
+// by the pinned prefix: keys are never deleted and a merge keeps its
+// slot, so positions are exact for every older version.
+func (r *Relation) keyPos(ks string) (int, bool) {
+	if r.origin != nil {
+		i, ok := r.origin.keyPos(ks)
+		if !ok || i >= len(r.tuples) {
+			return 0, false
+		}
+		return i, true
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	i, ok := r.byKey[ks]
-	if !ok {
-		return nil, false
-	}
-	return r.tuples[i], true
+	return i, ok
 }
 
 // Lifespan computes LS(r) = t1.l ∪ t2.l ∪ ... ∪ tn.l, "the lifespan of

@@ -56,6 +56,16 @@ func (ix *AttrIndex) Add(t *core.Tuple) {
 	ix.addLocked(t)
 }
 
+// AddBatch absorbs a bulk insert under one lock acquisition — the
+// coalesced form of Add a relation's ChangeBatch notification feeds.
+func (ix *AttrIndex) AddBatch(ts []*core.Tuple) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, t := range ts {
+		ix.addLocked(t)
+	}
+}
+
 // Replace absorbs a merge: the relation replaced old with new in place.
 func (ix *AttrIndex) Replace(old, new *core.Tuple) {
 	ix.mu.Lock()

@@ -134,6 +134,16 @@ func (x *RelIndexes) RelationChanged(r *core.Relation, c core.Change) {
 		for _, ix := range x.attrs {
 			ix.Replace(c.Old, c.New)
 		}
+	case core.ChangeBatch:
+		// One coalesced merge per index for the whole batch — one lock
+		// round and at most one overlay compaction, instead of
+		// len(Batch) single-tuple overlays.
+		if x.interval != nil {
+			x.interval.AddBatch(c.Batch, c.Pos)
+		}
+		for _, ix := range x.attrs {
+			ix.AddBatch(c.Batch)
+		}
 	}
 	metrics.incremental.Add(1)
 }

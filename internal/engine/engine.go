@@ -23,15 +23,30 @@ func init() {
 	})
 }
 
+// pinRetries bounds the optimistic plan-then-pin loop: each attempt
+// compiles (or fetches) a plan and pins a snapshot of its
+// dependencies; a writer publishing between the two forces a retry.
+// After the budget is spent, the engine compiles and pins under the
+// publish lock in one critical section, which cannot lose the race —
+// so a query never livelocks behind a continuous writer.
+const pinRetries = 3
+
 // Run parses, plans and executes a query through the engine, falling
 // back to the naive evaluator when the expression cannot be planned. A
 // plan cached under the query's normalized text short-circuits before
-// the parser runs.
+// the parser runs. Execution is snapshot-isolated: the plan runs
+// against a pinned database state matching its compile-time relation
+// versions, however many relations it touches.
 func Run(src string, env hql.Env) (hql.Result, error) {
 	srcKey := srcCacheKey(src)
 	if p, ok := planCache.lookup(srcKey, env, false); ok {
-		planCache.countHit()
-		return p.Execute()
+		if snap, pinned := pinPlan(p); pinned {
+			planCache.countHit()
+			return p.run(snap)
+		}
+		// A writer moved a dependency between the fence check and the
+		// pin; fall through to the parse path, whose own lookup will
+		// drop the stale entry and replan.
 	}
 	e, err := hql.Parse(src)
 	if err != nil {
@@ -44,8 +59,8 @@ func Run(src string, env hql.Env) (hql.Result, error) {
 	return hql.EvalNaive(e, env)
 }
 
-// Eval plans and executes a parsed expression, with plan caching and
-// naive fallback.
+// Eval plans and executes a parsed expression, with plan caching,
+// snapshot pinning and naive fallback.
 func Eval(e hql.Expr, env hql.Env) (hql.Result, error) {
 	res, handled, err := planAndRun(e, env, "")
 	if handled || err != nil {
@@ -56,24 +71,45 @@ func Eval(e hql.Expr, env hql.Env) (hql.Result, error) {
 
 // planAndRun is the shared execution path behind Eval, Run and the hql
 // planner hook: consult the plan cache under the expression's canonical
-// rendering, else compile, cache and execute. srcKey, when non-empty,
-// is additionally registered as an alias so the raw query text hits
+// rendering, else compile and cache — then pin a snapshot of the plan's
+// dependencies and execute only when the pinned versions match the
+// versions the plan was compiled against, so plan-time constants
+// (index candidate sets, WHEN sub-query lifespans) describe exactly
+// the state the query reads. Lost races against writers retry, then
+// resolve under the publish lock. srcKey, when non-empty, is
+// additionally registered as an alias so the raw query text hits
 // before its next parse. handled=false (with nil error) means the
-// planner cannot compile the expression and the caller should fall back
-// to the naive evaluator.
+// planner cannot compile the expression and the caller should fall
+// back to the naive evaluator.
 func planAndRun(e hql.Expr, env hql.Env, srcKey string) (hql.Result, bool, error) {
 	key := astCacheKey(e)
-	if p, ok := planCache.lookup(key, env, true); ok {
-		planCache.addKey(p, srcKey)
-		res, err := p.Execute()
-		return res, true, err
+	for try := 0; try < pinRetries; try++ {
+		if p, ok := planCache.lookup(key, env, try == 0); ok {
+			if snap, pinned := pinPlan(p); pinned {
+				planCache.addKey(p, srcKey)
+				res, err := p.run(snap)
+				return res, true, err
+			}
+			continue // dep moved between fence and pin: next lookup drops it
+		}
+		p, err := PlanQuery(e, env)
+		if err != nil {
+			return hql.Result{}, false, nil
+		}
+		if snap, pinned := pinPlan(p); pinned {
+			planCache.store([]string{srcKey, key}, p)
+			res, err := p.run(snap)
+			return res, true, err
+		}
 	}
-	p, err := PlanQuery(e, env)
+	// A continuous writer kept publishing between plan and pin; compile
+	// and pin in one critical section, which cannot fail.
+	p, snap, err := pinPlanExclusive(func() (*Plan, error) { return PlanQuery(e, env) })
 	if err != nil {
 		return hql.Result{}, false, nil
 	}
 	planCache.store([]string{srcKey, key}, p)
-	res, err := p.Execute()
+	res, err := p.run(snap)
 	return res, true, err
 }
 
@@ -85,8 +121,10 @@ func planAndRun(e hql.Expr, env hql.Env, srcKey string) (hql.Result, bool, error
 // during EXPLAIN. When optimize is set, the Section 5 law-based
 // rewriter runs first, so the output shows the plan of the rewritten
 // expression — the same one Run would execute. The output ends with
-// the statistics the planner consulted and the query's plan-cache
-// status (EXPLAIN itself neither reads from nor populates the cache).
+// the statistics the planner consulted, the snapshot a run of the plan
+// would pin — the database epoch plus each dependency at its pinned
+// version — and the query's plan-cache status (EXPLAIN itself neither
+// reads from nor populates the cache).
 func Explain(src string, env hql.Env, optimize bool) (string, error) {
 	e, err := hql.Parse(src)
 	if err != nil {
@@ -104,6 +142,6 @@ func Explain(src string, env hql.Env, optimize bool) (string, error) {
 		status = "hit (repeated runs skip parse and plan)"
 	}
 	hits, misses, entries := PlanCacheStats()
-	return fmt.Sprintf("query: %s\n%s\nplan-cache: %s [%d hits / %d misses, %d cached]",
-		e.String(), p.Explain(), status, hits, misses, entries), nil
+	return fmt.Sprintf("query: %s\n%s\nsnapshot: %s\nplan-cache: %s [%d hits / %d misses, %d cached]",
+		e.String(), p.Explain(), describePin(p), status, hits, misses, entries), nil
 }

@@ -12,11 +12,14 @@
 // the naive evaluator wherever no index applies), per-relation
 // statistics feeding the planner's selectivity and join estimates, and
 // a plan cache that lets repeated queries skip parse and plan entirely.
-// Indexes absorb single-tuple inserts and merges incrementally from
-// relation change notifications instead of rebuilding. Importing the
-// package installs the planner as internal/hql's evaluation hook;
-// equivalence with the naive evaluator is property-tested over
-// randomized workloads.
+// Indexes absorb single-tuple inserts, merges and coalesced batches
+// incrementally from relation change notifications instead of
+// rebuilding. Every query executes against a pinned epoch snapshot of
+// its relations (core.Pin), so multi-relation plans read one
+// consistent database state with zero locks on the scan path even
+// while writers publish. Importing the package installs the planner as
+// internal/hql's evaluation hook; equivalence with the naive evaluator
+// is property-tested over randomized workloads.
 package engine
 
 import (
@@ -123,6 +126,22 @@ func (ix *IntervalIndex) Add(t *core.Tuple, pos int) {
 	defer ix.mu.Unlock()
 	ix.addLocked(t, pos)
 	ix.tuples++
+	ix.maybeCompactLocked()
+}
+
+// AddBatch absorbs a bulk insert of tuples starting at position pos:
+// one lock acquisition, one overlay append per entry, and at most one
+// compaction at the end — the coalesced form of Add a relation's
+// ChangeBatch notification feeds. A batch large relative to the tree
+// folds into a single rebuild instead of the cascade of intermediate
+// compactions per-tuple absorption would trigger.
+func (ix *IntervalIndex) AddBatch(ts []*core.Tuple, pos int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for i, t := range ts {
+		ix.addLocked(t, pos+i)
+	}
+	ix.tuples += len(ts)
 	ix.maybeCompactLocked()
 }
 

@@ -26,11 +26,15 @@ type iterator func() (*core.Tuple, error)
 // node is one operator of a physical plan. Nodes with a statically known
 // scheme stream tuple-at-a-time through open; exec materializes the
 // node's full result relation. opNode (the naive fallback) only knows
-// its scheme at execution time and reports nil from scheme.
+// its scheme at execution time and reports nil from scheme. Both
+// execution entry points take the query's pinned snapshot (nil = live
+// reads): leaves read base-relation state through it, so one plan
+// executes against one consistent database version no matter how many
+// relations it touches or how writers race it.
 type node interface {
 	scheme() *schema.Scheme
-	open() (iterator, error)
-	exec() (*core.Relation, error)
+	open(s *Snapshot) (iterator, error)
+	exec(s *Snapshot) (*core.Relation, error)
 	estimate() cost
 	describe() string
 	children() []node
@@ -87,10 +91,13 @@ type scanNode struct {
 
 func (n *scanNode) scheme() *schema.Scheme { return n.rel.Scheme() }
 func (n *scanNode) children() []node       { return nil }
-func (n *scanNode) open() (iterator, error) {
-	return sliceIter(n.rel.Tuples()), nil
+func (n *scanNode) open(s *Snapshot) (iterator, error) {
+	return sliceIter(s.tuplesOf(n.rel)), nil
 }
-func (n *scanNode) exec() (*core.Relation, error) { return n.rel, nil }
+
+// exec returns the pinned version as a frozen O(1) view, so the naive
+// operators consuming it read the snapshot, not the live relation.
+func (n *scanNode) exec(s *Snapshot) (*core.Relation, error) { return s.relOf(n.rel), nil }
 func (n *scanNode) estimate() cost {
 	r := float64(n.rel.Cardinality())
 	return cost{rows: r, work: r}
@@ -115,7 +122,7 @@ type indexTimeSliceNode struct {
 
 func (n *indexTimeSliceNode) scheme() *schema.Scheme { return n.rel.Scheme() }
 func (n *indexTimeSliceNode) children() []node       { return nil }
-func (n *indexTimeSliceNode) open() (iterator, error) {
+func (n *indexTimeSliceNode) open(_ *Snapshot) (iterator, error) {
 	i := 0
 	return func() (*core.Tuple, error) {
 		for i < len(n.cand) {
@@ -128,7 +135,10 @@ func (n *indexTimeSliceNode) open() (iterator, error) {
 		return nil, nil
 	}, nil
 }
-func (n *indexTimeSliceNode) exec() (*core.Relation, error) {
+func (n *indexTimeSliceNode) exec(_ *Snapshot) (*core.Relation, error) {
+	// cand was resolved at plan time; the engine only executes a plan
+	// against a snapshot pinned at the exact versions it was compiled
+	// for, so the candidate set already describes the pinned state.
 	return core.TimesliceStaticOver(n.rel, n.L, n.cand)
 }
 func (n *indexTimeSliceNode) estimate() cost {
@@ -153,8 +163,8 @@ type timeSliceNode struct {
 
 func (n *timeSliceNode) scheme() *schema.Scheme { return n.child.scheme() }
 func (n *timeSliceNode) children() []node       { return []node{n.child} }
-func (n *timeSliceNode) open() (iterator, error) {
-	it, err := n.child.open()
+func (n *timeSliceNode) open(s *Snapshot) (iterator, error) {
+	it, err := n.child.open(s)
 	if err != nil {
 		return nil, err
 	}
@@ -170,8 +180,8 @@ func (n *timeSliceNode) open() (iterator, error) {
 		}
 	}, nil
 }
-func (n *timeSliceNode) exec() (*core.Relation, error) {
-	it, err := n.open()
+func (n *timeSliceNode) exec(s *Snapshot) (*core.Relation, error) {
+	it, err := n.open(s)
 	if err != nil {
 		return nil, err
 	}
@@ -204,8 +214,8 @@ type filterNode struct {
 
 func (n *filterNode) scheme() *schema.Scheme { return n.child.scheme() }
 func (n *filterNode) children() []node       { return []node{n.child} }
-func (n *filterNode) open() (iterator, error) {
-	it, err := n.child.open()
+func (n *filterNode) open(s *Snapshot) (iterator, error) {
+	it, err := n.child.open(s)
 	if err != nil {
 		return nil, err
 	}
@@ -225,8 +235,8 @@ func (n *filterNode) open() (iterator, error) {
 		}
 	}, nil
 }
-func (n *filterNode) exec() (*core.Relation, error) {
-	it, err := n.open()
+func (n *filterNode) exec(s *Snapshot) (*core.Relation, error) {
+	it, err := n.open(s)
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +290,7 @@ type indexSelectNode struct {
 
 func (n *indexSelectNode) scheme() *schema.Scheme { return n.rel.Scheme() }
 func (n *indexSelectNode) children() []node       { return nil }
-func (n *indexSelectNode) open() (iterator, error) {
+func (n *indexSelectNode) open(_ *Snapshot) (iterator, error) {
 	i := 0
 	return func() (*core.Tuple, error) {
 		for i < len(n.cand) {
@@ -297,7 +307,7 @@ func (n *indexSelectNode) open() (iterator, error) {
 		return nil, nil
 	}, nil
 }
-func (n *indexSelectNode) exec() (*core.Relation, error) {
+func (n *indexSelectNode) exec(_ *Snapshot) (*core.Relation, error) {
 	if n.when {
 		return core.SelectWhenCondOver(n.rel, n.cond, n.L, n.cand)
 	}
@@ -345,8 +355,8 @@ type projectNode struct {
 
 func (n *projectNode) scheme() *schema.Scheme { return n.rs }
 func (n *projectNode) children() []node       { return []node{n.child} }
-func (n *projectNode) open() (iterator, error) {
-	it, err := n.child.open()
+func (n *projectNode) open(s *Snapshot) (iterator, error) {
+	it, err := n.child.open(s)
 	if err != nil {
 		return nil, err
 	}
@@ -362,8 +372,8 @@ func (n *projectNode) open() (iterator, error) {
 		return core.NewTuple(n.rs, t.Lifespan(), nv)
 	}, nil
 }
-func (n *projectNode) exec() (*core.Relation, error) {
-	it, err := n.open()
+func (n *projectNode) exec(s *Snapshot) (*core.Relation, error) {
+	it, err := n.open(s)
 	if err != nil {
 		return nil, err
 	}
@@ -395,42 +405,115 @@ type indexJoinNode struct {
 	indexedAttr  string
 	rs           *schema.Scheme
 	leftIsStream bool // stream side is r1 of the result scheme
-	probe        func(value.Value) []*core.Tuple
-	varying      []*core.Tuple
-	probeDesc    string
-	avgBucket    float64
+	// keyProbe probes the indexed relation's canonical key map; aix is
+	// the attribute hash index probed otherwise. Probes run against
+	// live structures at execution time and are restricted to the
+	// query's pinned snapshot: key lookups bound by the pinned prefix,
+	// attribute-index candidates resolved through it (live probes are
+	// a superset of the pinned matches — value images only grow under
+	// merges — and JoinPair re-checks every candidate, so restriction
+	// is exact).
+	keyProbe  bool
+	aix       *AttrIndex
+	probeDesc string
+	avgBucket float64
 }
 
 func (n *indexJoinNode) scheme() *schema.Scheme { return n.rs }
 func (n *indexJoinNode) children() []node       { return []node{n.stream} }
 
-// candidates returns the indexed-side tuples that could join t.
-func (n *indexJoinNode) candidates(t *core.Tuple) []*core.Tuple {
-	f := t.Value(n.streamAttr)
-	if f.IsNowhereDefined() {
+// probeVal returns the indexed-side tuples whose attribute could equal
+// v, as of the pinned snapshot.
+func (n *indexJoinNode) probeVal(s *Snapshot, v value.Value) []*core.Tuple {
+	if n.keyProbe {
+		if t, ok := s.lookupKey(n.indexed, v.String()); ok {
+			return []*core.Tuple{t}
+		}
 		return nil
 	}
-	var out []*core.Tuple
-	if f.IsConstant() {
-		v, _ := f.ConstantValue()
-		out = n.probe(v)
-	} else {
-		// Distinct image values hit disjoint buckets, so no pair repeats.
-		for _, v := range f.Image() {
-			out = append(out, n.probe(v)...)
-		}
-	}
-	if len(n.varying) > 0 {
-		out = append(append([]*core.Tuple(nil), out...), n.varying...)
-	}
-	return out
+	return s.resolve(n.indexed, n.aix.Probe(v))
 }
 
-func (n *indexJoinNode) open() (iterator, error) {
-	it, err := n.stream.open()
+// candidateFn returns the per-tuple candidate resolver for one
+// execution of the node. Under a snapshot, the varying overflow is
+// re-read live for every streamed tuple — a pinned-constant tuple that
+// a concurrent merge moves to varying mid-stream must still be found —
+// and the resolved candidates are deduplicated by pinned identity: the
+// same pinned object can surface through both a bucket probed before
+// such a merge and the varying list read after it, and the join must
+// not emit the pair twice. Without a snapshot (plan-time sub-queries,
+// the exported best-effort Execute), the varying overflow is captured
+// once up front instead, which cannot alias any later bucket probe.
+func (n *indexJoinNode) candidateFn(s *Snapshot) func(*core.Tuple) []*core.Tuple {
+	var baseVarying []*core.Tuple
+	if s == nil && n.aix != nil {
+		baseVarying = n.aix.Varying()
+	}
+	// Memoized resolution of the live varying slice: Varying() hands out
+	// stable snapshots (appends extend behind them, removals copy
+	// first), so an unchanged (pointer, length) identity means unchanged
+	// contents and the resolved set from the previous streamed tuple can
+	// be reused — the per-tuple live re-read then only pays for actual
+	// mid-stream merges instead of O(stream × varying) key computations.
+	var lastVarying, lastResolved []*core.Tuple
+	resolveVarying := func() []*core.Tuple {
+		v := n.aix.Varying()
+		if len(v) == 0 {
+			return nil
+		}
+		if len(v) == len(lastVarying) && &v[0] == &lastVarying[0] {
+			return lastResolved
+		}
+		lastVarying, lastResolved = v, s.resolve(n.indexed, v)
+		return lastResolved
+	}
+	return func(t *core.Tuple) []*core.Tuple {
+		f := t.Value(n.streamAttr)
+		if f.IsNowhereDefined() {
+			return nil
+		}
+		var out []*core.Tuple
+		if f.IsConstant() {
+			v, _ := f.ConstantValue()
+			out = n.probeVal(s, v)
+		} else {
+			// Distinct image values hit disjoint buckets, so no pair repeats.
+			for _, v := range f.Image() {
+				out = append(out, n.probeVal(s, v)...)
+			}
+		}
+		if n.aix == nil {
+			return out
+		}
+		varying := baseVarying
+		if s != nil {
+			varying = resolveVarying()
+		}
+		if len(varying) == 0 {
+			return out
+		}
+		merged := append(append(make([]*core.Tuple, 0, len(out)+len(varying)), out...), varying...)
+		if s == nil {
+			return merged
+		}
+		seen := make(map[*core.Tuple]bool, len(merged))
+		dedup := merged[:0]
+		for _, c := range merged {
+			if !seen[c] {
+				seen[c] = true
+				dedup = append(dedup, c)
+			}
+		}
+		return dedup
+	}
+}
+
+func (n *indexJoinNode) open(s *Snapshot) (iterator, error) {
+	it, err := n.stream.open(s)
 	if err != nil {
 		return nil, err
 	}
+	candidates := n.candidateFn(s)
 	var t *core.Tuple
 	var cand []*core.Tuple
 	ci := 0
@@ -457,17 +540,19 @@ func (n *indexJoinNode) open() (iterator, error) {
 			if err != nil || t == nil {
 				return nil, err
 			}
-			cand, ci = n.candidates(t), 0
+			cand, ci = candidates(t), 0
 		}
 	}, nil
 }
-func (n *indexJoinNode) exec() (*core.Relation, error) {
+func (n *indexJoinNode) exec(s *Snapshot) (*core.Relation, error) {
 	// When the streamed side is itself a base relation, delegate to the
-	// core fast path (same kernel, one fewer indirection layer).
+	// core fast path (same kernel, one fewer indirection layer),
+	// streaming the pinned snapshot of the base.
 	if sc, ok := n.stream.(*scanNode); ok && n.leftIsStream {
-		return core.EquiJoinProbe(sc.rel, n.indexed, n.streamAttr, n.indexedAttr, n.candidates)
+		return core.EquiJoinProbeOver(sc.rel, n.indexed, n.streamAttr, n.indexedAttr,
+			s.tuplesOf(sc.rel), n.candidateFn(s))
 	}
-	it, err := n.open()
+	it, err := n.open(s)
 	if err != nil {
 		return nil, err
 	}
@@ -502,10 +587,10 @@ type opNode struct {
 
 func (n *opNode) scheme() *schema.Scheme { return nil }
 func (n *opNode) children() []node       { return n.kids }
-func (n *opNode) exec() (*core.Relation, error) {
+func (n *opNode) exec(s *Snapshot) (*core.Relation, error) {
 	rels := make([]*core.Relation, len(n.kids))
 	for i, k := range n.kids {
-		r, err := k.exec()
+		r, err := k.exec(s)
 		if err != nil {
 			return nil, err
 		}
@@ -513,8 +598,8 @@ func (n *opNode) exec() (*core.Relation, error) {
 	}
 	return n.apply(rels)
 }
-func (n *opNode) open() (iterator, error) {
-	r, err := n.exec()
+func (n *opNode) open(s *Snapshot) (iterator, error) {
+	r, err := n.exec(s)
 	if err != nil {
 		return nil, err
 	}

@@ -2,9 +2,11 @@ package engine
 
 import (
 	"container/list"
+	"strconv"
 	"sync"
 
 	"repro/internal/hql"
+	"repro/internal/value"
 )
 
 // The plan cache memoizes compiled physical plans so repeated queries
@@ -20,11 +22,30 @@ import (
 // fails the same fence and replans rather than serving results from
 // the old store.
 
-// cacheEntry is one cached plan with the keys it is registered under.
+// cacheEntry is one cached plan with the keys it is registered under
+// and its fingerprint — the injective identity of the (normalized
+// query, relation-version set) pair the plan answers for.
 type cacheEntry struct {
 	plan *Plan
 	keys []string
+	fp   string
 	elem *list.Element
+}
+
+// planFingerprint builds the injective identity of a cached plan: the
+// query's canonical text plus every dependency as (name, version),
+// combined with value.EncodeKey's escaping so no two distinct
+// (query, dep-set) pairs can collide — a query text that happens to
+// embed "NAME|3" can never alias a dependency entry, and dependency
+// names containing separators cannot bleed into their neighbors. The
+// injectivity is property-tested in plancache_test.go.
+func planFingerprint(text string, deps []planDep) string {
+	parts := make([]string, 0, 1+2*len(deps))
+	parts = append(parts, text)
+	for _, d := range deps {
+		parts = append(parts, d.name, strconv.FormatUint(d.version, 10))
+	}
+	return value.EncodeKey(parts)
 }
 
 type planCacheT struct {
@@ -105,10 +126,30 @@ func (pc *planCacheT) store(keys []string, p *Plan) {
 	if len(clean) == 0 {
 		return
 	}
+	fp := planFingerprint(p.text, p.deps)
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	pc.sweepStaleLocked()
-	ent := &cacheEntry{plan: p, keys: clean}
+	// Two goroutines racing the same cache miss compile the same plan
+	// twice; the fingerprint identifies the duplicate, so the second
+	// store keeps the incumbent entry (registering any missing alias
+	// keys) instead of churning the LRU with an identical plan.
+	for _, k := range clean {
+		if old, ok := pc.entries[k]; ok && old.fp == fp {
+			for _, k2 := range clean {
+				if pc.entries[k2] != old && len(old.keys) < maxAliasKeys {
+					if prev, ok := pc.entries[k2]; ok {
+						pc.removeLocked(prev)
+					}
+					pc.entries[k2] = old
+					old.keys = append(old.keys, k2)
+				}
+			}
+			pc.lru.MoveToFront(old.elem)
+			return
+		}
+	}
+	ent := &cacheEntry{plan: p, keys: clean, fp: fp}
 	ent.elem = pc.lru.PushFront(ent)
 	for _, k := range clean {
 		if old, ok := pc.entries[k]; ok && old != ent {
@@ -128,8 +169,8 @@ func (pc *planCacheT) store(keys []string, p *Plan) {
 // overflow), retaining dead candidate slices and relation generations
 // meanwhile. Runs on each store — i.e. once per compile, over at most
 // maxPlanCache entries. Entries from a swapped-out environment (same
-// versions, different store) are not caught here; the CLI clears the
-// cache on \load for that.
+// versions, different store) are not caught here; callers that swap
+// environments run InvalidateStalePlans against the new one.
 func (pc *planCacheT) sweepStaleLocked() {
 	var next *list.Element
 	for e := pc.lru.Front(); e != nil; e = next {
@@ -193,6 +234,29 @@ func PlanCacheStats() (hits, misses uint64, entries int) {
 	planCache.mu.Lock()
 	defer planCache.mu.Unlock()
 	return planCache.hits, planCache.misses, planCache.lru.Len()
+}
+
+// InvalidateStalePlans drops every cached plan that no longer
+// validates against env — one of its dependencies resolves to a
+// different relation (a swapped store) or a moved version — and
+// reports how many entries were dropped. Entries whose dependencies
+// still resolve identically survive, so a store swap that shares
+// relations with its predecessor (or a reload of unrelated relations)
+// keeps the working set warm: the precise replacement for clearing
+// the cache wholesale on swap.
+func InvalidateStalePlans(env hql.Env) (dropped int) {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	var next *list.Element
+	for e := planCache.lru.Front(); e != nil; e = next {
+		next = e.Next()
+		ent := e.Value.(*cacheEntry)
+		if !ent.plan.valid(env) {
+			planCache.removeLocked(ent)
+			dropped++
+		}
+	}
+	return dropped
 }
 
 // ResetPlanCache empties the plan cache and zeroes its counters. The

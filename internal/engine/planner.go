@@ -158,9 +158,22 @@ func PlanQuery(e hql.Expr, env hql.Env) (*Plan, error) {
 	return p, nil
 }
 
-// Execute runs the plan and wraps the result in the query's sort.
+// Execute runs the plan against a best-effort snapshot of its
+// dependencies and wraps the result in the query's sort. The engine's
+// own entry points (Run, Eval, the hql hook) instead pin a snapshot
+// verified to match the plan's compile-time versions — replanning on a
+// lost race — which is what upgrades "best effort" to epoch-consistent
+// multi-relation reads; direct Execute callers get the pin without the
+// verify.
 func (p *Plan) Execute() (hql.Result, error) {
-	r, err := p.root.exec()
+	snap, _ := pinPlan(p)
+	return p.run(snap)
+}
+
+// run executes the plan against the given pinned snapshot (nil = live
+// reads) and wraps the result in the query's sort.
+func (p *Plan) run(s *Snapshot) (hql.Result, error) {
+	r, err := p.root.exec(s)
 	if err != nil {
 		return hql.Result{}, err
 	}
@@ -637,16 +650,11 @@ func indexJoin(stream node, streamAttr string, idx node, idxAttr string, leftIsS
 	key := is.Key
 	if len(key) == 1 && key[0] == idxAttr {
 		// The canonical-key map the relation already maintains is the
-		// hash index; no separate structure needed.
-		rel := sc.rel
-		j.probe = func(v value.Value) []*core.Tuple {
-			if t, ok := rel.Lookup(v.String()); ok {
-				return []*core.Tuple{t}
-			}
-			return nil
-		}
+		// hash index; no separate structure needed. Execution probes it
+		// through the query's snapshot, bounded by the pinned prefix.
+		j.keyProbe = true
 		j.avgBucket = 1
-		j.probeDesc = fmt.Sprintf("key-index %s.%s (%d keys)", sc.name, idxAttr, rel.Cardinality())
+		j.probeDesc = fmt.Sprintf("key-index %s.%s (%d keys)", sc.name, idxAttr, sc.rel.Cardinality())
 		return j
 	}
 	// Building the attribute index here is an O(n) scan, but the catalog
@@ -654,11 +662,9 @@ func indexJoin(stream node, streamAttr string, idx node, idxAttr string, leftIsS
 	// every later query — either join orientation, or an index-select on
 	// the same attribute — reuses it, so the build amortizes like any
 	// index warm-up even when this particular candidate loses the costing.
-	aix := Indexes(sc.rel).Attr(idxAttr)
-	j.probe = aix.Probe
-	j.varying = aix.Varying()
-	j.avgBucket = aix.AvgBucket()
-	j.probeDesc = aix.String()
+	j.aix = Indexes(sc.rel).Attr(idxAttr)
+	j.avgBucket = j.aix.AvgBucket()
+	j.probeDesc = j.aix.String()
 	return j
 }
 
@@ -697,7 +703,10 @@ func evalLS(e *hql.LSExpr, lc *lowerCtx) (lifespan.Lifespan, error) {
 		if err != nil {
 			return lifespan.Lifespan{}, err
 		}
-		r, err := n.exec()
+		// Sub-queries run at plan time against live state; the resulting
+		// lifespan is a plan-time constant, fenced by the plan's
+		// (relation, version) deps like every other plan-time probe.
+		r, err := n.exec(nil)
 		if err != nil {
 			return lifespan.Lifespan{}, err
 		}

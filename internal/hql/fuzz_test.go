@@ -1,0 +1,96 @@
+package hql
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// fuzzSeeds spans the grammar: every operator family, quoting styles,
+// comments-of-errors (malformed inputs that must fail cleanly), and
+// whitespace variants the normalizer collapses.
+var fuzzSeeds = []string{
+	`SELECT WHEN SAL = 30000 FROM EMP`,
+	`SELECT IF SAL > 1 FORALL FROM EMP`,
+	`SELECT WHEN DEPT = 'Toys' AND SAL >= 30000 DURING {[5,15]} FROM EMP`,
+	`TIMESLICE EMP AT {[0,9]}`,
+	`TIMESLICE EMP AT WHEN (SELECT WHEN SAL = 1 FROM EMP)`,
+	`TIMESLICE EMP BY SHIPDATE`,
+	`PROJECT NAME, SAL FROM EMP`,
+	`RENAME EMP AS E`,
+	`EMP JOIN REF ON NAME = RNAME`,
+	`EMP OUTERJOIN REF ON NAME /= RNAME`,
+	`EMP NATJOIN DEPTREL`,
+	`EMP TIMEJOIN SHIP AT SHIPDATE`,
+	`(A UNION B) INTERSECT (C MINUS D)`,
+	`A UNIONMERGE B`,
+	`WHEN EMP`,
+	`SNAPSHOT EMP AT 7`,
+	`MATERIALIZE EMP`,
+	`SELECT WHEN NAME = "dou\"ble" FROM EMP`,
+	`SELECT WHEN NAME = 'sin\'gle' FROM EMP`,
+	"SELECT\tWHEN \n SAL = 1\r\nFROM  EMP",
+	`SELECT WHEN`,
+	`{[`,
+	`'unterminated`,
+	`)( mismatched`,
+	"\x00\xff\xfe",
+	``,
+}
+
+// FuzzParse hardens the HQL lexer and parser against arbitrary input:
+// any string must parse or return an error — never panic — and an
+// accepted expression's canonical rendering must itself parse to the
+// same canonical rendering (String is a fixpoint), which is what the
+// engine's plan cache keys rely on.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return // rejection is the expected path for junk
+		}
+		text := e.String()
+		e2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("canonical rendering does not re-parse:\n src: %q\ntext: %q\nerr: %v", src, text, err)
+		}
+		if got := e2.String(); got != text {
+			t.Fatalf("String is not a fixpoint:\n src: %q\n 1st: %q\n 2nd: %q", src, text, got)
+		}
+	})
+}
+
+// FuzzNormalizeQuery checks the whitespace normalizer the plan cache
+// keys raw query text by: idempotent on any input (normalizing twice
+// equals normalizing once — two spellings that normalize equally must
+// keep doing so), never grows the input, and preserves UTF-8 validity.
+func FuzzNormalizeQuery(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n1 := NormalizeQuery(src)
+		n2 := NormalizeQuery(n1)
+		if n1 != n2 {
+			t.Fatalf("NormalizeQuery not idempotent:\n src: %q\n  n1: %q\n  n2: %q", src, n1, n2)
+		}
+		if len(n1) > len(src) {
+			t.Fatalf("NormalizeQuery grew its input: %q -> %q", src, n1)
+		}
+		if utf8.ValidString(src) && !utf8.ValidString(n1) {
+			t.Fatalf("NormalizeQuery broke UTF-8: %q -> %q", src, n1)
+		}
+		// Normalization must never change what a query means: both
+		// spellings parse to the same expression, or both fail.
+		e1, err1 := Parse(src)
+		e2, err2 := Parse(n1)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("normalization changed parse outcome:\n src: %q (%v)\nnorm: %q (%v)", src, err1, n1, err2)
+		}
+		if err1 == nil && e1.String() != e2.String() {
+			t.Fatalf("normalization changed the AST:\n src: %q -> %s\nnorm: %q -> %s", src, e1, n1, e2)
+		}
+	})
+}

@@ -23,8 +23,10 @@ package hql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // tokenKind enumerates lexical token classes.
@@ -104,8 +106,16 @@ func (lx *lexer) errf(pos int, format string, args ...any) error {
 }
 
 func (lx *lexer) next() (token, error) {
-	for lx.pos < len(lx.src) && unicode.IsSpace(rune(lx.src[lx.pos])) {
-		lx.pos++
+	// Skip whitespace rune-wise (in step with NormalizeQuery): judging
+	// single bytes would skip the continuation bytes of multibyte runes
+	// that alias Latin-1 whitespace. Invalid bytes decode to RuneError,
+	// which is not a space, and fall through to the error below.
+	for lx.pos < len(lx.src) {
+		r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		lx.pos += size
 	}
 	if lx.pos >= len(lx.src) {
 		return token{kind: tokEOF, pos: lx.pos}, nil
@@ -145,6 +155,22 @@ func (lx *lexer) next() (token, error) {
 		var sb strings.Builder
 		for i < len(lx.src) {
 			if lx.src[i] == '\\' && i+1 < len(lx.src) {
+				// Decode Go-style escape sequences (\n, \xHH, \uHHHH, …)
+				// so the canonical rendering of a string constant —
+				// strconv.Quote, which emits them for non-printable
+				// bytes — lexes back to the same value; the plan
+				// cache's AST keys depend on that round trip. Escapes
+				// strconv does not recognize keep the historical
+				// lenient meaning: the next byte, literally.
+				if ch, multibyte, tail, err := strconv.UnquoteChar(lx.src[i:], quote); err == nil {
+					if ch < 0x80 || !multibyte {
+						sb.WriteByte(byte(ch))
+					} else {
+						sb.WriteRune(ch)
+					}
+					i = len(lx.src) - len(tail)
+					continue
+				}
 				sb.WriteByte(lx.src[i+1])
 				i += 2
 				continue

@@ -3,6 +3,7 @@ package hql
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // NormalizeQuery canonicalizes a query's insignificant whitespace:
@@ -44,17 +45,22 @@ func NormalizeQuery(src string) string {
 			}
 			continue
 		}
-		if unicode.IsSpace(rune(c)) {
+		// Whitespace is detected rune-wise, matching the lexer: deciding
+		// byte-by-byte would mistake the continuation bytes of multibyte
+		// runes (0xA0, 0x85 — NBSP and NEL in Latin-1) for whitespace
+		// and corrupt valid UTF-8.
+		r, size := utf8.DecodeRuneInString(src[i:])
+		if unicode.IsSpace(r) {
 			pending = true
-			i++
+			i += size
 			continue
 		}
 		if pending && b.Len() > 0 {
 			b.WriteByte(' ')
 		}
 		pending = false
-		b.WriteByte(c)
-		i++
+		b.WriteString(src[i : i+size])
+		i += size
 	}
 	return b.String()
 }

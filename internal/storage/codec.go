@@ -77,6 +77,12 @@ func Decode(rd io.Reader) (*core.Relation, error) {
 	if br.err != nil {
 		return nil, br.err
 	}
+	// Decode every tuple first and load them as one batch: a single
+	// version bump and one coalesced index-maintenance notification
+	// instead of n single-tuple rounds — the storage layer's bulk-load
+	// path. Capacity is bounded (not trusted from the count) so a
+	// corrupt header cannot trigger a giant allocation.
+	ts := make([]*core.Tuple, 0, int(min(n, 1024)))
 	for i := uint32(0); i < n; i++ {
 		ls := decodeLifespan(br)
 		vals := make(map[string]tfunc.Func, len(s.Attrs))
@@ -90,9 +96,10 @@ func Decode(rd io.Reader) (*core.Relation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("storage: decode tuple %d: %w", i, err)
 		}
-		if err := out.Insert(t); err != nil {
-			return nil, err
-		}
+		ts = append(ts, t)
+	}
+	if err := out.InsertBatch(ts); err != nil {
+		return nil, err
 	}
 	return out, br.err
 }

@@ -30,8 +30,12 @@ func NewStore() *Store {
 	return &Store{rels: make(map[string]*core.Relation)}
 }
 
-// Put registers (or replaces) a relation under its scheme name.
+// Put registers (or replaces) a relation under its scheme name. A
+// stored relation is shared database state: it is marked published so
+// every later mutation participates in the epoch/snapshot protocol
+// (see core.Pin).
 func (s *Store) Put(r *core.Relation) {
+	r.MarkPublished()
 	s.rels[r.Scheme().Name] = r
 }
 

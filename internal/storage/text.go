@@ -48,6 +48,8 @@ func ParseText(r io.Reader) (*Store, error) {
 		curName    string
 		curRel     *core.Relation
 		curBuilder *core.TupleBuilder
+		pending    []*core.Tuple
+		seenKeys   map[string]bool
 		lineNo     int
 	)
 	finishScheme := func() error {
@@ -60,6 +62,7 @@ func ParseText(r io.Reader) (*Store, error) {
 		}
 		curScheme = s
 		curRel = core.NewRelation(s)
+		seenKeys = make(map[string]bool)
 		st.Put(curRel)
 		return nil
 	}
@@ -72,7 +75,37 @@ func ParseText(r io.Reader) (*Store, error) {
 			return err
 		}
 		curBuilder = nil
-		return curRel.Insert(t)
+		// Duplicate keys are detected here, while the parser is still
+		// near the offending tuple block, so the error carries a useful
+		// line number; the batch flush below would only surface them at
+		// the end of the relation section. The check mirrors the
+		// relation's own canonical key encoding.
+		parts := make([]string, len(curRel.Scheme().Key))
+		for i, k := range curRel.Scheme().Key {
+			parts[i] = t.KeyValue(k).String()
+		}
+		if ks := value.EncodeKey(parts); seenKeys[ks] {
+			return fmt.Errorf("relation %s: duplicate key %s", curRel.Scheme().Name, ks)
+		} else {
+			seenKeys[ks] = true
+		}
+		// Tuples accumulate per relation and flush as one batch when the
+		// relation section ends — the bulk-load path: one version bump
+		// and one coalesced index merge for the whole section.
+		pending = append(pending, t)
+		return nil
+	}
+	flushRelation := func() error {
+		if err := finishTuple(); err != nil {
+			return err
+		}
+		if curRel == nil || len(pending) == 0 {
+			return nil
+		}
+		err := curRel.InsertBatch(pending)
+		pending = nil
+		seenKeys = nil
+		return err
 	}
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("storage: text line %d: %s", lineNo, fmt.Sprintf(format, args...))
@@ -87,7 +120,7 @@ func ParseText(r io.Reader) (*Store, error) {
 		fields := splitFields(line)
 		switch fields[0] {
 		case "relation":
-			if err := finishTuple(); err != nil {
+			if err := flushRelation(); err != nil {
 				return nil, fail("%v", err)
 			}
 			// Register the previous relation even if it had no tuples.
@@ -169,7 +202,7 @@ func ParseText(r io.Reader) (*Store, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if err := finishTuple(); err != nil {
+	if err := flushRelation(); err != nil {
 		return nil, fmt.Errorf("storage: text: %w", err)
 	}
 	if err := finishScheme(); err != nil {
