@@ -140,6 +140,7 @@ func runEngineBench(args []string) error {
 	benchInsertHeavy(&doc, *n)
 	benchBulkLoad(&doc, *n)
 	benchMultiRelRace(&doc)
+	benchWriteGroup(&doc)
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -419,6 +420,159 @@ func benchMultiRelRace(doc *benchFile) {
 		"multi_rel_race", "snapshot", r.NsPerOp, violations)
 	if violations > 0 {
 		panic(fmt.Sprintf("multi_rel_race: %d epoch-consistency violations", violations))
+	}
+	doc.Results = append(doc.Results, r)
+}
+
+// benchWriteGroup measures cross-relation atomic write groups. Two
+// parts:
+//
+//  1. Cost: the same load — rounds of one batch into each of three
+//     store-registered, index-warm relations — applied either as three
+//     sequential InsertBatch publications per round or as one
+//     WriteGroup commit per round. The group turns three publish-lock
+//     rounds, three epoch ticks and three index merges per logical
+//     update into one of each, so atomicity should come at (better
+//     than) no cost; the recorded ratio proves it.
+//  2. Atomicity: a writer commits groups inserting the same keys into
+//     relations A and B while readers run `A MINUS B` and `B MINUS A`
+//     through the engine. Sequential batches legitimately expose
+//     windows where A runs ahead; a group must not — both differences
+//     are empty at every cut, and any surviving tuple counts as a
+//     torn-group violation (must be zero, mirroring multi_rel_race).
+func benchWriteGroup(doc *benchFile) {
+	const rounds, batchN, relsN = 200, 50, 3
+	fmt.Printf("write_group: %d rounds × %d relations × %d tuples, sequential batches vs one group\n",
+		rounds, relsN, batchN)
+	full := lifespan.Interval(0, 999)
+	mkScheme := func(name string) *schema.Scheme {
+		return schema.MustNew(name, []string{"K"},
+			schema.Attribute{Name: "K", Domain: value.Strings, Lifespan: full},
+			schema.Attribute{Name: "V", Domain: value.Ints, Lifespan: full, Interp: "step"},
+		)
+	}
+	mkBatch := func(s *schema.Scheme, round int) []*core.Tuple {
+		ts := make([]*core.Tuple, batchN)
+		for j := range ts {
+			ts[j] = core.NewTupleBuilder(s, lifespan.Interval(0, 9)).
+				Key("K", value.String_(fmt.Sprintf("k%06d", round*batchN+j))).
+				Set("V", 0, 9, value.Int(int64(j))).
+				MustBuild()
+		}
+		return ts
+	}
+
+	run := func(variant string, apply func(rels []*core.Relation, batches [][]*core.Tuple) error) benchResult {
+		schemes := make([]*schema.Scheme, relsN)
+		rels := make([]*core.Relation, relsN)
+		st := storage.NewStore()
+		for i := range rels {
+			schemes[i] = mkScheme(fmt.Sprintf("G%d", i))
+			rels[i] = core.NewRelation(schemes[i])
+			st.Put(rels[i])
+		}
+		st.RebuildIndexes()
+		// Tuple construction is hoisted out of the timed region (like
+		// bulk_load), and the heap is quiesced first, so the ratio
+		// isolates the publication paths themselves.
+		prebuilt := make([][][]*core.Tuple, rounds)
+		for i := range prebuilt {
+			prebuilt[i] = make([][]*core.Tuple, relsN)
+			for j := range prebuilt[i] {
+				prebuilt[i][j] = mkBatch(schemes[j], i)
+			}
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if err := apply(rels, prebuilt[i]); err != nil {
+				panic(fmt.Sprintf("write_group %s round %d: %v", variant, i, err))
+			}
+		}
+		total := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		r := benchResult{Op: "write_group", Variant: variant, N: rounds * batchN * relsN, Iters: rounds,
+			NsPerOp:     total.Nanoseconds() / rounds,
+			AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / rounds,
+			BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / rounds,
+			ResultRows:  rels[0].Cardinality()}
+		fmt.Printf("  %-28s %-8s %14d ns/op %12d allocs/op %8d rows/rel (total %s)\n",
+			"write_group", variant, r.NsPerOp, r.AllocsPerOp, r.ResultRows, total)
+		doc.Results = append(doc.Results, r)
+		return r
+	}
+	seq := run("sequential", func(rels []*core.Relation, batches [][]*core.Tuple) error {
+		for i, r := range rels {
+			if err := r.InsertBatch(batches[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	grp := run("group", func(rels []*core.Relation, batches [][]*core.Tuple) error {
+		g := core.NewWriteGroup()
+		for i, r := range rels {
+			g.InsertBatch(r, batches[i])
+		}
+		return g.Commit()
+	})
+	if grp.NsPerOp > 0 {
+		s := float64(seq.NsPerOp) / float64(grp.NsPerOp)
+		doc.Speedups["write_group"] = s
+		fmt.Printf("  group vs sequential: %.2f× (atomicity at no extra publication cost)\n", s)
+	}
+
+	// Part 2 — torn-group detector under live read pressure.
+	sa, sb := mkScheme("A"), mkScheme("B")
+	a, b := core.NewRelation(sa), core.NewRelation(sb)
+	st := storage.NewStore()
+	st.Put(a)
+	st.Put(b)
+	st.RebuildIndexes()
+	stop := make(chan struct{})
+	var writerErr error
+	go func() {
+		defer close(stop)
+		for i := 0; i < rounds; i++ {
+			g := core.NewWriteGroup()
+			g.InsertBatch(a, mkBatch(sa, i))
+			g.InsertBatch(b, mkBatch(sb, i))
+			if writerErr = g.Commit(); writerErr != nil {
+				return
+			}
+		}
+	}()
+	violations, queries := 0, 0
+	start := time.Now()
+	for loading := true; loading; {
+		select {
+		case <-stop:
+			loading = false
+		default:
+		}
+		q := []string{`A MINUS B`, `B MINUS A`}[queries%2]
+		res, err := engine.Run(q, st)
+		if err != nil {
+			panic(fmt.Sprintf("write_group %s: %v", q, err))
+		}
+		if res.Relation.Cardinality() != 0 {
+			violations++
+		}
+		queries++
+	}
+	total := time.Since(start)
+	if writerErr != nil {
+		panic(fmt.Sprintf("write_group writer: %v", writerErr))
+	}
+	r := benchResult{Op: "write_group", Variant: "atomic", N: rounds * batchN, Iters: queries,
+		NsPerOp:    total.Nanoseconds() / int64(max(queries, 1)),
+		ResultRows: violations}
+	fmt.Printf("  %-28s %-8s %14d ns/op %8d torn-group observations (must be 0)\n",
+		"write_group", "atomic", r.NsPerOp, violations)
+	if violations > 0 {
+		panic(fmt.Sprintf("write_group: %d torn-group observations", violations))
 	}
 	doc.Results = append(doc.Results, r)
 }

@@ -11,7 +11,10 @@
 // Shell commands: \l lists relations, \d NAME shows a scheme,
 // \save PATH / \load PATH persist the store in the binary format,
 // \loadtext PATH / \dumptext PATH use the human-editable text format
-// (see internal/storage/text.go), \q quits. EXPLAIN QUERY prints the
+// (see internal/storage/text.go), \merge PATH stages a text file's
+// relations into the current store and publishes them as one atomic
+// cross-relation write group (see docs/ARCHITECTURE.md), \q quits.
+// EXPLAIN QUERY prints the
 // physical plan the engine would run — which indexes it probes, what
 // falls back to the naive operators, the cost estimates, and the
 // epoch snapshot a run would pin — without executing the plan
@@ -135,6 +138,27 @@ func main() {
 				st = loaded
 				engine.InvalidateStalePlans(st)
 				fmt.Println("  loaded", strings.Join(st.Names(), ", "))
+			}
+		case strings.HasPrefix(line, `\merge `):
+			path := strings.TrimSpace(line[7:])
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			add, err := storage.ParseText(f)
+			f.Close()
+			if err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			// One atomic write group across every relation in the file: a
+			// concurrent reader (or a failed validation) sees either the
+			// whole file merged or the store exactly as it was.
+			if err := st.MergeStore(add); err != nil {
+				fmt.Println("  error:", err, "(store unchanged)")
+			} else {
+				fmt.Println("  merged", strings.Join(add.Names(), ", "), "as one write group")
 			}
 		case strings.HasPrefix(line, `\dumptext `):
 			path := strings.TrimSpace(line[10:])

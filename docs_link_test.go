@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLinkRe matches inline markdown links [text](target).
+var mdLinkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks verifies that every relative link in the
+// repository's documentation — README.md, ROADMAP.md and docs/ —
+// points at a file that exists, so a rename or deletion cannot
+// silently orphan the docs. External (scheme-qualified) links and
+// pure in-page anchors are skipped; a `#fragment` suffix on a
+// relative link is stripped before the existence check. CI runs this
+// as its docs step.
+func TestMarkdownLinks(t *testing.T) {
+	var files []string
+	for _, f := range []string{"README.md", "ROADMAP.md"} {
+		if _, err := os.Stat(f); err == nil {
+			files = append(files, f)
+		}
+	}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(files) < 3 {
+		t.Fatalf("documentation set looks incomplete: %v", files)
+	}
+
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLinkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; existence is not checkable offline
+			}
+			if strings.HasPrefix(target, "#") {
+				continue // in-page anchor
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", f, m[1], resolved)
+			}
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package chronon implements the time domain T of the Historical
+// Relational Data Model (HRDM).
+//
+// The paper defines T = {..., t0, t1, ...} as an at most countably
+// infinite set of times with a linear (total) order <_T, and states that
+// "the reader can assume that T is isomorphic to the natural numbers".
+// We therefore model a time point (a chronon) as an int64 and closed
+// intervals [t1,t2] as the set {t | t1 <= t <= t2}.
+package chronon

@@ -1,0 +1,14 @@
+// Package constraint implements the temporal integrity constraints that
+// HRDM's Section 5 sketches as extensions of the classical theory:
+//
+//   - the historical key constraint (restated from Section 3's relation
+//     definition);
+//   - temporal functional dependencies, both *intra-state* ("dependencies
+//     that hold at each single point in time") and *trans-state*
+//     ("dependencies ... that hold over all points in time");
+//   - dynamic constraints "over the way that values change over time (as
+//     in the familiar 'salary must never decrease' example)";
+//   - temporal referential integrity from Section 1: "a student can only
+//     take a course at time t if both the student and the course exist in
+//     the database at time t".
+package constraint

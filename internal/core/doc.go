@@ -1,0 +1,24 @@
+// Package core implements the structures and algebra of the Historical
+// Relational Data Model (HRDM) — the primary contribution of Clifford &
+// Croker (1987).
+//
+// A historical tuple t on scheme R is an ordered pair t = ⟨v, l⟩ where
+// t.l is the tuple's lifespan and t.v assigns to each attribute A ∈ R a
+// partial temporal function into DOM(A) defined on t.l ∩ ALS(A,R)
+// (Section 3). A historical relation is a finite set of such tuples whose
+// key values are pairwise distinct at every pair of time points. The
+// algebra over these structures (Section 4) comprises the set-theoretic
+// operators and their object-based variants, PROJECT, SELECT-IF,
+// SELECT-WHEN, static and dynamic TIME-SLICE, WHEN, and the JOIN family.
+//
+// Beyond the paper, the package carries the repository's concurrency
+// model (see docs/ARCHITECTURE.md): relations synchronize reads and
+// writes with an RWMutex and hand out immutable tuple-slice snapshots;
+// published relations participate in an epoch-based publication
+// protocol (epoch.go) under which Pin captures transaction-consistent
+// multi-relation cuts; and WriteGroup (writegroup.go) stages mutations
+// across several relations and publishes them as one atomic unit — one
+// publish-lock acquisition, one epoch tick, one coalesced change
+// notification per relation — so a pinned snapshot can never observe a
+// partially applied group.
+package core

@@ -37,6 +37,12 @@ import (
 type Relation struct {
 	scheme *schema.Scheme
 
+	// id is a process-unique creation ticket. WriteGroup.Commit locks
+	// the mutexes of every relation in a group in ascending id order,
+	// so two groups over overlapping relation sets can never deadlock
+	// however their callers staged them.
+	id uint64
+
 	mu     sync.RWMutex
 	tuples []*Tuple
 	byKey  map[string]int
@@ -78,9 +84,19 @@ const (
 	// ChangeBatch appended Batch starting at Pos under a single
 	// version bump — one notification for the whole bulk load, so
 	// observers can absorb it as one coalesced index merge instead of
-	// len(Batch) single-tuple overlays.
+	// len(Batch) single-tuple overlays. A batch published by a
+	// WriteGroup may additionally carry Merges: slots the group
+	// replaced with merged tuples, still under the same version bump.
 	ChangeBatch
 )
+
+// MergeStep records one slot a coalesced batch replaced: the tuple at
+// Pos was overwritten by its merge New (Old is the tuple it replaced).
+type MergeStep struct {
+	Pos int
+	Old *Tuple
+	New *Tuple
+}
 
 // Change describes one mutation of a relation. Version is the
 // relation's mutation counter after the change; consecutive changes
@@ -88,10 +104,11 @@ const (
 // notification and fall back to a full rebuild.
 type Change struct {
 	Kind    ChangeKind
-	Pos     int      // tuple position affected (first position for batches)
-	Old     *Tuple   // replaced tuple (merges only)
-	New     *Tuple   // inserted or merged tuple now at Pos
-	Batch   []*Tuple // tuples appended at Pos (batches only)
+	Pos     int         // tuple position affected (first position for batches)
+	Old     *Tuple      // replaced tuple (merges only)
+	New     *Tuple      // inserted or merged tuple now at Pos
+	Batch   []*Tuple    // tuples appended at Pos (batches only)
+	Merges  []MergeStep // slots replaced under the same bump (write groups only)
 	Version uint64
 }
 
@@ -103,9 +120,14 @@ type Observer interface {
 	RelationChanged(r *Relation, c Change)
 }
 
+// relIDs issues the creation tickets WriteGroup.Commit orders its
+// mutex acquisitions by. Frozen views (built as literals in epoch.go)
+// carry id 0; they reject mutation, so they never enter a lock order.
+var relIDs atomic.Uint64
+
 // NewRelation returns an empty relation on scheme r.
 func NewRelation(r *schema.Scheme) *Relation {
-	return &Relation{scheme: r, byKey: make(map[string]int)}
+	return &Relation{scheme: r, byKey: make(map[string]int), id: relIDs.Add(1)}
 }
 
 // Scheme returns the relation's scheme R.

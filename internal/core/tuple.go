@@ -1,15 +1,3 @@
-// Package core implements the structures and algebra of the Historical
-// Relational Data Model (HRDM) — the primary contribution of Clifford &
-// Croker (1987).
-//
-// A historical tuple t on scheme R is an ordered pair t = ⟨v, l⟩ where
-// t.l is the tuple's lifespan and t.v assigns to each attribute A ∈ R a
-// partial temporal function into DOM(A) defined on t.l ∩ ALS(A,R)
-// (Section 3). A historical relation is a finite set of such tuples whose
-// key values are pairwise distinct at every pair of time points. The
-// algebra over these structures (Section 4) comprises the set-theoretic
-// operators and their object-based variants, PROJECT, SELECT-IF,
-// SELECT-WHEN, static and dynamic TIME-SLICE, WHEN, and the JOIN family.
 package core
 
 import (

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WriteGroup is a staged multi-relation mutation: any mix of inserts,
+// history-merging inserts and batches, spanning any number of
+// relations, published as one atomic unit. The model of the paper is a
+// database of historical relations evolving *together*; per-relation
+// batches alone still let a reader pin between two related
+// publications and observe a cut the model never admits — relation A
+// after a logical update, relation B before it. A write group closes
+// that hole:
+//
+//	g := core.NewWriteGroup()
+//	g.InsertBatch(orders, newOrders)
+//	g.InsertMerging(customers, updatedHistory)
+//	if err := g.Commit(); err != nil { ... } // nothing was applied
+//
+// Commit validates every staged mutation up front — duplicate keys
+// (within the group or against existing tuples), non-mergable
+// histories — and only then applies, so a failing group leaves every
+// relation untouched. The apply runs under a single acquisition of the
+// global publish lock with the mutexes of all touched relations held
+// at once, bumps each relation's version once, ticks the database
+// epoch once, and hands each relation's observers one coalesced
+// ChangeBatch (appended tuples plus MergeSteps). Pin takes the publish
+// lock exclusively, so a pinned snapshot sees a committed group either
+// entirely or not at all — across however many relations it spans.
+//
+// A WriteGroup is a single-goroutine staging buffer: stage and commit
+// from one goroutine, and discard it after Commit (successful or not).
+// Distinct groups may commit concurrently; relation mutexes are taken
+// in a global creation order, so overlapping groups serialize instead
+// of deadlocking.
+type WriteGroup struct {
+	ops   map[*Relation][]groupOp
+	order []*Relation // staging order, for deterministic validation errors
+}
+
+// groupOp is one staged mutation: append t, or merge it into an
+// existing history (InsertMerging semantics) when merging is set.
+type groupOp struct {
+	tuple   *Tuple
+	merging bool
+}
+
+// NewWriteGroup returns an empty staging buffer.
+func NewWriteGroup() *WriteGroup {
+	return &WriteGroup{ops: make(map[*Relation][]groupOp)}
+}
+
+func (g *WriteGroup) add(r *Relation, op groupOp) {
+	if _, ok := g.ops[r]; !ok {
+		g.order = append(g.order, r)
+	}
+	g.ops[r] = append(g.ops[r], op)
+}
+
+// Insert stages the append of t into r, enforcing key uniqueness at
+// commit time (against both live tuples and earlier staged ones).
+func (g *WriteGroup) Insert(r *Relation, t *Tuple) {
+	g.add(r, groupOp{tuple: t})
+}
+
+// InsertMerging stages t into r with history-merging semantics: at
+// commit time, a live or earlier-staged tuple sharing t's key is
+// merged with it (t + t'), and a contradicting history fails the whole
+// group.
+func (g *WriteGroup) InsertMerging(r *Relation, t *Tuple) {
+	g.add(r, groupOp{tuple: t, merging: true})
+}
+
+// InsertBatch stages the append of every tuple of ts into r. Staging
+// an empty batch is a no-op, mirroring Relation.InsertBatch.
+func (g *WriteGroup) InsertBatch(r *Relation, ts []*Tuple) {
+	for _, t := range ts {
+		g.add(r, groupOp{tuple: t})
+	}
+}
+
+// Len reports the number of staged mutations across all relations.
+func (g *WriteGroup) Len() int {
+	n := 0
+	for _, ops := range g.ops {
+		n += len(ops)
+	}
+	return n
+}
+
+// Relations reports how many distinct relations the group touches.
+func (g *WriteGroup) Relations() int { return len(g.order) }
+
+// groupApply is one relation's validated outcome, computed under the
+// relation's lock before anything mutates: the tuples to append (with
+// their canonical key strings) and the live slots to overwrite.
+type groupApply struct {
+	rel      *Relation
+	appended []*Tuple
+	keys     []string
+	merges   []MergeStep
+}
+
+// Commit validates and atomically publishes the staged group. On any
+// validation error — a duplicate key, a contradicting merge — no
+// relation is modified, no version moves and no observer is notified;
+// the group may be corrected and committed again. On success each
+// touched relation's version advances by exactly one, the database
+// epoch ticks exactly once, and observers receive one coalesced
+// ChangeBatch per relation after all locks are released. An empty
+// group commits trivially: no locks, no epoch tick.
+func (g *WriteGroup) Commit() error {
+	if len(g.order) == 0 {
+		return nil
+	}
+	// Frozen snapshot views are rejected before any lock is taken (and
+	// validation errors below follow the same nothing-applied rule).
+	for _, r := range g.order {
+		if r.origin != nil {
+			return errFrozen(r)
+		}
+	}
+	rels := append([]*Relation(nil), g.order...)
+	sort.Slice(rels, func(i, j int) bool { return rels[i].id < rels[j].id })
+
+	// One publish-lock acquisition covers the whole group. Writers hold
+	// the shared side (distinct groups and single-relation writers still
+	// run concurrently); Pin holds the exclusive side, so no snapshot
+	// can be captured between two relations of this group. Lock order is
+	// publish.mu → r.mu everywhere; the relation mutexes themselves are
+	// taken in ascending creation order so overlapping groups serialize.
+	publish.mu.RLock()
+	for _, r := range rels {
+		r.mu.Lock()
+	}
+	unlockAll := func() {
+		for i := len(rels) - 1; i >= 0; i-- {
+			rels[i].mu.Unlock()
+		}
+		publish.mu.RUnlock()
+	}
+
+	// Phase 1 — validate everything and precompute every outcome, in
+	// staging order so the first error reported is the first one staged.
+	applies := make([]groupApply, 0, len(g.order))
+	for _, r := range g.order {
+		ap, err := r.validateGroupLocked(g.ops[r])
+		if err != nil {
+			unlockAll()
+			return err
+		}
+		applies = append(applies, ap)
+	}
+
+	// Phase 2 — apply; nothing below can fail.
+	published := false
+	type delivery struct {
+		rel *Relation
+		obs []Observer
+		c   Change
+	}
+	deliveries := make([]delivery, 0, len(applies))
+	for _, ap := range applies {
+		r := ap.rel
+		if r.published.Load() {
+			published = true
+		}
+		c, obs := r.applyGroupLocked(ap)
+		deliveries = append(deliveries, delivery{rel: r, obs: obs, c: c})
+	}
+	for i := len(rels) - 1; i >= 0; i-- {
+		rels[i].mu.Unlock()
+	}
+	if published {
+		// One tick for the whole group: the epoch counts publications,
+		// and the group is one. It moves under the shared side of the
+		// publish lock, like every single-relation publication.
+		publish.epoch.Add(1)
+	}
+	publish.mu.RUnlock()
+	for _, d := range deliveries {
+		notify(d.obs, d.rel, d.c)
+	}
+	return nil
+}
+
+// validateGroupLocked simulates the relation's staged ops under its
+// held mutex without mutating anything: key-uniqueness against live
+// tuples and earlier staged ones, merge compatibility, and the merged
+// tuples themselves. Ops apply in staging order, so a merging insert
+// may land on a tuple appended (or already merged) earlier in the same
+// group.
+func (r *Relation) validateGroupLocked(ops []groupOp) (groupApply, error) {
+	ap := groupApply{rel: r}
+	pendingIdx := make(map[string]int, len(ops)) // key → index into ap.appended
+	mergeIdx := make(map[int]int)                // live slot → index into ap.merges
+	for _, op := range ops {
+		ks := op.tuple.keyString(r.scheme)
+		if j, ok := pendingIdx[ks]; ok {
+			// Collides with a tuple appended earlier in this group.
+			if !op.merging {
+				return ap, fmt.Errorf("core: relation %s: duplicate key %s in write group", r.scheme.Name, ks)
+			}
+			m, err := mergeInto(r, ks, ap.appended[j], op.tuple)
+			if err != nil {
+				return ap, err
+			}
+			ap.appended[j] = m
+			continue
+		}
+		if i, live := r.byKey[ks]; live {
+			if !op.merging {
+				return ap, fmt.Errorf("core: relation %s: duplicate key %s in write group", r.scheme.Name, ks)
+			}
+			cur := r.tuples[i]
+			if mi, merged := mergeIdx[i]; merged {
+				cur = ap.merges[mi].New
+			}
+			m, err := mergeInto(r, ks, cur, op.tuple)
+			if err != nil {
+				return ap, err
+			}
+			if mi, merged := mergeIdx[i]; merged {
+				ap.merges[mi].New = m
+			} else {
+				mergeIdx[i] = len(ap.merges)
+				ap.merges = append(ap.merges, MergeStep{Pos: i, Old: r.tuples[i], New: m})
+			}
+			continue
+		}
+		pendingIdx[ks] = len(ap.appended)
+		ap.appended = append(ap.appended, op.tuple)
+		ap.keys = append(ap.keys, ks)
+	}
+	return ap, nil
+}
+
+// mergeInto merges t into the existing history cur, surfacing the same
+// contradiction error InsertMerging reports.
+func mergeInto(r *Relation, ks string, cur, t *Tuple) (*Tuple, error) {
+	if !cur.Mergable(t, r.scheme) {
+		return nil, fmt.Errorf("core: relation %s: tuple with key %s contradicts existing history", r.scheme.Name, ks)
+	}
+	return cur.Merge(t)
+}
+
+// applyGroupLocked installs one relation's validated outcome under its
+// held mutex: overwrite the merged slots (copy-on-write if a snapshot
+// is outstanding), append the new tuples in one extension of the
+// prefix, bump the version once, and return the coalesced Change to
+// deliver after every lock in the group is released.
+func (r *Relation) applyGroupLocked(ap groupApply) (Change, []Observer) {
+	if len(ap.merges) > 0 && r.shared.Load() {
+		r.tuples = append([]*Tuple(nil), r.tuples...)
+		r.shared.Store(false)
+	}
+	for _, m := range ap.merges {
+		r.tuples[m.Pos] = m.New
+	}
+	pos := len(r.tuples)
+	r.tuples = append(r.tuples, ap.appended...)
+	for i, ks := range ap.keys {
+		r.byKey[ks] = pos + i
+	}
+	r.version++
+	c := Change{Kind: ChangeBatch, Pos: pos, Batch: ap.appended, Merges: ap.merges, Version: r.version}
+	return c, r.observers
+}

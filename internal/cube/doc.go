@@ -1,0 +1,14 @@
+// Package cube implements the "three-dimensional cube" historical model
+// that HRDM's introduction cites as the earliest approach
+// ([Klopprogge 81], [Klopprogge 83], [Clifford 83]): "the incorporation
+// of a time-stamp and a Boolean-valued EXISTS? attribute to each tuple
+// ... The database was seen as a three-dimensional cube, wherein at any
+// time t a tuple with EXISTS? = True was considered to be meaningful,
+// otherwise it was to be ignored."
+//
+// Concretely, a cube relation materializes one flat row per (object,
+// chronon) over the whole database clock range, with an EXISTS? flag.
+// This is the baseline of experiments E10 (storage footprint — the cube
+// pays for every chronon whether or not anything changed) and E11
+// (query cost on the three representations).
+package cube

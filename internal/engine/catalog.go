@@ -137,12 +137,24 @@ func (x *RelIndexes) RelationChanged(r *core.Relation, c core.Change) {
 	case core.ChangeBatch:
 		// One coalesced merge per index for the whole batch — one lock
 		// round and at most one overlay compaction, instead of
-		// len(Batch) single-tuple overlays.
-		if x.interval != nil {
-			x.interval.AddBatch(c.Batch, c.Pos)
+		// len(Batch) single-tuple overlays. A write-group batch may also
+		// carry replaced slots; they absorb as in-place replacements
+		// under the same version bump.
+		for _, m := range c.Merges {
+			if x.interval != nil {
+				x.interval.Replace(m.Old, m.New, m.Pos)
+			}
+			for _, ix := range x.attrs {
+				ix.Replace(m.Old, m.New)
+			}
 		}
-		for _, ix := range x.attrs {
-			ix.AddBatch(c.Batch)
+		if len(c.Batch) > 0 {
+			if x.interval != nil {
+				x.interval.AddBatch(c.Batch, c.Pos)
+			}
+			for _, ix := range x.attrs {
+				ix.AddBatch(c.Batch)
+			}
 		}
 	}
 	metrics.incremental.Add(1)

@@ -15,6 +15,11 @@ import (
 	"repro/internal/value"
 )
 
+// The EXPLAIN output these golden files lock — every line, from the
+// plan tree and its cost estimates through the statistics, snapshot
+// and plan-cache reports — is documented in docs/EXPLAIN.md; update
+// that document whenever an intentional format change updates the
+// golden files here.
 var updateGolden = flag.Bool("update", false, "rewrite the EXPLAIN golden files under testdata/explain")
 
 // epochRe masks the database epoch in EXPLAIN output: it is a

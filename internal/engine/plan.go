@@ -441,9 +441,9 @@ func (n *indexJoinNode) probeVal(s *Snapshot, v value.Value) []*core.Tuple {
 // and the resolved candidates are deduplicated by pinned identity: the
 // same pinned object can surface through both a bucket probed before
 // such a merge and the varying list read after it, and the join must
-// not emit the pair twice. Without a snapshot (plan-time sub-queries,
-// the exported best-effort Execute), the varying overflow is captured
-// once up front instead, which cannot alias any later bucket probe.
+// not emit the pair twice. Without a snapshot (plan-time sub-query
+// evaluation only), the varying overflow is captured once up front
+// instead, which cannot alias any later bucket probe.
 func (n *indexJoinNode) candidateFn(s *Snapshot) func(*core.Tuple) []*core.Tuple {
 	var baseVarying []*core.Tuple
 	if s == nil && n.aix != nil {

@@ -158,20 +158,14 @@ func PlanQuery(e hql.Expr, env hql.Env) (*Plan, error) {
 	return p, nil
 }
 
-// Execute runs the plan against a best-effort snapshot of its
-// dependencies and wraps the result in the query's sort. The engine's
-// own entry points (Run, Eval, the hql hook) instead pin a snapshot
-// verified to match the plan's compile-time versions — replanning on a
-// lost race — which is what upgrades "best effort" to epoch-consistent
-// multi-relation reads; direct Execute callers get the pin without the
-// verify.
-func (p *Plan) Execute() (hql.Result, error) {
-	snap, _ := pinPlan(p)
-	return p.run(snap)
-}
-
-// run executes the plan against the given pinned snapshot (nil = live
-// reads) and wraps the result in the query's sort.
+// run executes the plan against the given pinned snapshot and wraps
+// the result in the query's sort. It is deliberately unexported: the
+// engine's entry points (Run, Eval, the hql hook) are the only
+// execution paths, and each pins a snapshot verified against the
+// plan's compile-time versions before running — there is no
+// best-effort execute-without-verify path. The snapshot is nil only
+// for plan-time sub-query evaluation (evalLS), which runs under the
+// version fence the plan's deps record.
 func (p *Plan) run(s *Snapshot) (hql.Result, error) {
 	r, err := p.root.exec(s)
 	if err != nil {

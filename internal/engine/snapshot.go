@@ -17,9 +17,11 @@ import (
 // cannot observe relation A before a writer's batch and relation B
 // after it.
 //
-// A nil *Snapshot is valid everywhere and means "read live state" —
-// the pre-snapshot behavior, used by direct Plan.Execute callers
-// outside the engine's pinning entry points.
+// A nil *Snapshot is valid everywhere and means "read live state". The
+// only remaining nil-snapshot execution is plan-time sub-query
+// evaluation (WHEN sub-queries in lifespan positions), whose results
+// become plan-time constants fenced by the plan's (relation, version)
+// deps; every query-time execution runs through a verified pin.
 type Snapshot struct {
 	Epoch uint64
 	vers  map[*core.Relation]core.RelVersion

@@ -81,7 +81,24 @@ func Eval(e Expr, env Env) (Result, error) {
 // evaluator — every operator a linear scan, exactly the paper's
 // definitional semantics. It is the reference implementation the
 // planner's indexed plans are property-tested against.
+//
+// Like the engine's physical plans, naive evaluation is
+// snapshot-isolated: every base relation the expression references is
+// pinned in one core.Pin cut before the walk starts, and the operators
+// consume frozen views of the pinned versions. A multi-relation query
+// racing a writer therefore reads one consistent database state on the
+// naive path exactly as it does on the planned path.
 func EvalNaive(e Expr, env Env) (Result, error) {
+	env, err := pinExprEnv(e, env)
+	if err != nil {
+		return Result{}, err
+	}
+	return evalNaivePinned(e, env)
+}
+
+// evalNaivePinned is the tree walk itself, over an environment whose
+// relations are already one consistent cut.
+func evalNaivePinned(e Expr, env Env) (Result, error) {
 	switch n := e.(type) {
 	case *WhenExpr:
 		r, err := evalRel(n.Source, env)

@@ -1,12 +1,3 @@
-// Package lifespan implements the lifespan concept of Clifford & Croker's
-// HRDM paper (Section 2).
-//
-// "A lifespan L is any subset of the set T."  Because T is isomorphic to
-// the natural numbers, every lifespan arising in a finite database is a
-// finite union of disjoint closed intervals; that is the canonical form
-// maintained here.  The paper requires the usual set-theoretic operations
-// over lifespans (L1 ∪ L2, L1 ∩ L2, L1 − L2, and complement), which this
-// package provides together with membership, iteration and comparison.
 package lifespan
 
 import (

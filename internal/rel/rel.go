@@ -1,14 +1,3 @@
-// Package rel implements a classical (snapshot) relational algebra.
-//
-// It serves two roles in the reproduction. First, it is the baseline for
-// the paper's consistent-extension claim (Section 5): "each component C
-// of the relational model has a corresponding component C_H in the
-// historical relational model with the property that the definitions of C
-// and C_H become equivalent in the absence of a temporal dimension."
-// Property tests in internal/core machine-check this equivalence by
-// comparing HRDM operators at T = {now} against these operators. Second,
-// it is the snapshot target of core.Snapshot, the "what did the database
-// look like at time t" query of experiment E11.
 package rel
 
 import (

@@ -1,0 +1,13 @@
+// Package schema implements HRDM relation schemes.
+//
+// Paper Section 3: "A relation scheme R = <A,K,ALS,DOM> is an ordered
+// 4-tuple where A ⊆ U is the set of attributes of R, K ⊆ A is the set of
+// key attributes, ALS: A → 2^T assigns a lifespan to each attribute, and
+// DOM: A → HD assigns a domain to each attribute", with the restrictions
+// that key attributes are constant-valued (DOM(Ai) ∈ CD) and each
+// temporal function's domain lies within its attribute's lifespan.
+//
+// Assigning lifespans to attributes is what gives HRDM evolving schemas
+// (paper Figure 6): dropping an attribute at t2 and re-adding it at t3 is
+// recorded as ALS(A) = [t1,t2] ∪ [t3,NOW].
+package schema

@@ -1,12 +1,3 @@
-// Package storage implements the physical level of HRDM's three-level
-// architecture (paper Figure 9: representation / model / physical).
-//
-// Historical relations are serialized to a compact binary format that
-// stores each attribute value in its representation-level form — the
-// interval-coalesced steps of tfunc.Func, so a salary constant for a
-// thousand chronons costs one step — and are read back losslessly. The
-// same byte counts drive the storage-footprint experiment (E10), where
-// HRDM competes with the cube and tuple-timestamping representations.
 package storage
 
 import (

@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const mergeBaseText = `
+relation EMP key NAME
+  attr NAME string  {[0,99]}
+  attr SAL  int     {[0,99]} step
+tuple {[0,9]}
+  NAME = "John" @ {[0,9]}
+  SAL  = 30000  @ {[0,9]}
+`
+
+func parseTextString(t *testing.T, src string) *Store {
+	t.Helper()
+	st, err := ParseText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestMergeStore: merging a parsed text store into an existing one
+// extends shared histories, registers new relations, and publishes
+// everything as one write group (one epoch tick).
+func TestMergeStore(t *testing.T) {
+	st := parseTextString(t, mergeBaseText)
+	add := parseTextString(t, `
+relation EMP key NAME
+  attr NAME string  {[0,99]}
+  attr SAL  int     {[0,99]} step
+tuple {[10,19]}
+  NAME = "John" @ {[10,19]}
+  SAL  = 32000  @ {[10,19]}
+tuple {[0,9]}
+  NAME = "Mary" @ {[0,9]}
+  SAL  = 40000  @ {[0,9]}
+relation DEPT key DNAME
+  attr DNAME string {[0,99]}
+tuple {[0,9]}
+  DNAME = "Toys" @ {[0,9]}
+`)
+
+	e0 := core.Epoch()
+	if err := st.MergeStore(add); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.Epoch(); got != e0+1 {
+		t.Fatalf("merge epoch delta %d, want exactly 1 (one write group)", got-e0)
+	}
+	emp, _ := st.Get("EMP")
+	if emp.Cardinality() != 2 {
+		t.Fatalf("EMP cardinality %d, want 2", emp.Cardinality())
+	}
+	john, ok := emp.Lookup(`"John"`)
+	if !ok || john.Lifespan().String() != "{[0,19]}" {
+		t.Fatalf("John's history not merged: %v %v", ok, john)
+	}
+	dept, ok := st.Get("DEPT")
+	if !ok || dept.Cardinality() != 1 {
+		t.Fatal("new relation DEPT not registered with its tuples")
+	}
+}
+
+// TestMergeStoreFailureLeavesStoreUntouched: a contradicting history
+// (or an incompatible scheme) aborts the whole merge — existing
+// relations keep their state and no half-registered relation remains.
+func TestMergeStoreFailureLeavesStoreUntouched(t *testing.T) {
+	st := parseTextString(t, mergeBaseText)
+	emp, _ := st.Get("EMP")
+	v0 := emp.Version()
+
+	// John already earns 30000 over [0,9]; 99 contradicts it.
+	contradicting := parseTextString(t, `
+relation EMP key NAME
+  attr NAME string  {[0,99]}
+  attr SAL  int     {[0,99]} step
+tuple {[5,9]}
+  NAME = "John" @ {[5,9]}
+  SAL  = 99     @ {[5,9]}
+relation DEPT key DNAME
+  attr DNAME string {[0,99]}
+tuple {[0,9]}
+  DNAME = "Toys" @ {[0,9]}
+`)
+	err := st.MergeStore(contradicting)
+	if err == nil || !strings.Contains(err.Error(), "contradicts") {
+		t.Fatalf("want contradiction error, got %v", err)
+	}
+	if emp.Version() != v0 || emp.Cardinality() != 1 {
+		t.Fatal("failed merge mutated an existing relation")
+	}
+	if _, ok := st.Get("DEPT"); ok {
+		t.Fatal("failed merge left a half-registered relation behind")
+	}
+
+	// Incompatible scheme: rejected before anything is staged.
+	incompatible := parseTextString(t, `
+relation EMP key NAME
+  attr NAME string {[0,99]}
+tuple {[0,9]}
+  NAME = "Zoe" @ {[0,9]}
+`)
+	err = st.MergeStore(incompatible)
+	if err == nil || !strings.Contains(err.Error(), "schemes differ") {
+		t.Fatalf("want scheme error, got %v", err)
+	}
+	if emp.Version() != v0 {
+		t.Fatal("scheme mismatch mutated the store")
+	}
+
+	// Same attributes and key but a different attribute lifespan (ALS):
+	// also incompatible — tuples valid under the wider scheme would
+	// violate the destination's declared lifespans.
+	widerALS := parseTextString(t, `
+relation EMP key NAME
+  attr NAME string  {[0,999]}
+  attr SAL  int     {[0,999]} step
+tuple {[100,109]}
+  NAME = "Late" @ {[100,109]}
+  SAL  = 50000  @ {[100,109]}
+`)
+	err = st.MergeStore(widerALS)
+	if err == nil || !strings.Contains(err.Error(), "schemes differ") {
+		t.Fatalf("want scheme error for differing ALS, got %v", err)
+	}
+	if emp.Version() != v0 {
+		t.Fatal("ALS mismatch mutated the store")
+	}
+}
+
+// TestMergeStoreConcurrentReaders: readers resolving and iterating the
+// store while MergeStore registers a new relation must never observe a
+// half-loaded one — a resolvable name always answers with the full
+// tuple set. Run with -race (this also exercises the store's map
+// guard).
+func TestMergeStoreConcurrentReaders(t *testing.T) {
+	st := parseTextString(t, mergeBaseText)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, name := range st.Names() {
+				r, ok := st.Get(name)
+				if !ok {
+					continue
+				}
+				if name == "BULK" && r.Cardinality() != 100 {
+					t.Errorf("resolved a half-loaded relation: |BULK|=%d", r.Cardinality())
+					return
+				}
+			}
+		}
+	}()
+
+	var bulk strings.Builder
+	bulk.WriteString("relation BULK key ID\n  attr ID int {[0,999]}\n")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&bulk, "tuple {[0,9]}\n  ID = %d @ {[0,9]}\n", i)
+	}
+	add := parseTextString(t, bulk.String())
+	if err := st.MergeStore(add); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-done
+	if r, ok := st.Get("BULK"); !ok || r.Cardinality() != 100 {
+		t.Fatal("BULK missing after merge")
+	}
+}
+
+// TestParseTextSingleGroupPublication: a multi-relation text file
+// loads as one publication — the epoch moves by exactly one however
+// many relation sections the file holds.
+func TestParseTextSingleGroupPublication(t *testing.T) {
+	e0 := core.Epoch()
+	st := parseTextString(t, mergeBaseText+`
+relation DEPT key DNAME
+  attr DNAME string {[0,99]}
+tuple {[0,9]}
+  DNAME = "Toys" @ {[0,9]}
+relation SHIP key ID
+  attr ID int {[0,99]}
+tuple {[0,9]}
+  ID = 1 @ {[0,9]}
+`)
+	if got := core.Epoch(); got != e0+1 {
+		t.Fatalf("text load epoch delta %d, want exactly 1", got-e0)
+	}
+	if len(st.Names()) != 3 {
+		t.Fatalf("loaded %v", st.Names())
+	}
+}

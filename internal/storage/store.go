@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 
 	"repro/internal/chronon"
 	"repro/internal/core"
@@ -20,8 +21,12 @@ var IndexBuilder func(*core.Relation)
 // Store is a minimal heap-file style database: a set of named historical
 // relations that can be persisted to and reloaded from a single file.
 // It stands in for the paper's physical level in the examples and the
-// CLI; durability and concurrency control are out of the paper's scope.
+// CLI; durability is out of the paper's scope. The name map itself is
+// guarded by an RWMutex so readers may resolve relations while
+// MergeStore registers new ones; the *contents* of the relations are
+// protected by core's own epoch/snapshot protocol.
 type Store struct {
+	mu   sync.RWMutex
 	rels map[string]*core.Relation
 }
 
@@ -36,17 +41,23 @@ func NewStore() *Store {
 // (see core.Pin).
 func (s *Store) Put(r *core.Relation) {
 	r.MarkPublished()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.rels[r.Scheme().Name] = r
 }
 
 // Get returns the named relation.
 func (s *Store) Get(name string) (*core.Relation, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	r, ok := s.rels[name]
 	return r, ok
 }
 
 // Names returns the stored relation names, sorted.
 func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.rels))
 	for n := range s.rels {
 		out = append(out, n)
@@ -71,7 +82,8 @@ func (s *Store) Save(path string) error {
 		return w.err
 	}
 	for _, n := range names {
-		if err := Encode(f, s.rels[n]); err != nil {
+		r, _ := s.Get(n)
+		if err := Encode(f, r); err != nil {
 			return err
 		}
 	}
@@ -108,6 +120,60 @@ func Load(path string) (*Store, error) {
 	return s, nil
 }
 
+// MergeStore merges every relation of src into s as one atomic
+// cross-relation write group. A relation whose name already exists in
+// s must render the identical scheme — attributes with their domains,
+// interpolation and lifespans, and the same key — and receives src's
+// tuples with history-merging semantics: a tuple sharing a key merges
+// with the existing history, a contradicting one fails the whole
+// merge. A name new to s is built as a private relation, filled inside
+// the same group commit, and registered only after the commit
+// succeeds, so readers never resolve a half-loaded (or, on failure, a
+// phantom) relation. Either the whole group publishes — one epoch
+// tick; a reader pinning the existing relations sees every merge or
+// none — or an error leaves s exactly as it was.
+func (s *Store) MergeStore(src *Store) error {
+	// Validate scheme compatibility before staging anything. The
+	// canonical scheme rendering covers everything tuple validity
+	// depends on: attribute names, order, domains, interpolation,
+	// attribute lifespans (ALS) and the key set.
+	for _, name := range src.Names() {
+		sr, _ := src.Get(name)
+		if dr, ok := s.Get(name); ok {
+			if dr.Scheme().String() != sr.Scheme().String() {
+				return fmt.Errorf("storage: merge: relation %s: schemes differ:\n  have %s\n  got  %s",
+					name, dr.Scheme(), sr.Scheme())
+			}
+		}
+	}
+	g := core.NewWriteGroup()
+	var fresh []*core.Relation
+	for _, name := range src.Names() {
+		sr, _ := src.Get(name)
+		if dr, ok := s.Get(name); ok {
+			for _, t := range sr.Tuples() {
+				g.InsertMerging(dr, t)
+			}
+		} else {
+			// Built privately, filled by the group, registered below only
+			// once the commit has succeeded: unreachable until complete.
+			nr := core.NewRelation(sr.Scheme())
+			fresh = append(fresh, nr)
+			g.InsertBatch(nr, sr.Tuples())
+		}
+	}
+	if err := g.Commit(); err != nil {
+		// Nothing was applied to s; the unregistered fresh relations are
+		// simply dropped.
+		return fmt.Errorf("storage: merge: %w", err)
+	}
+	for _, nr := range fresh {
+		s.Put(nr)
+	}
+	s.RebuildIndexes()
+	return nil
+}
+
 // RebuildIndexes eagerly constructs the query engine's lifespan interval
 // index and key hash indexes for every stored relation, so a freshly
 // loaded database answers its first indexed query at full speed. Load
@@ -116,7 +182,15 @@ func (s *Store) RebuildIndexes() {
 	if IndexBuilder == nil {
 		return
 	}
+	// Snapshot the relation set first: index building takes catalog and
+	// relation locks, which should not nest inside the store's.
+	s.mu.RLock()
+	rels := make([]*core.Relation, 0, len(s.rels))
 	for _, r := range s.rels {
+		rels = append(rels, r)
+	}
+	s.mu.RUnlock()
+	for _, r := range rels {
 		IndexBuilder(r)
 	}
 }

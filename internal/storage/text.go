@@ -52,6 +52,12 @@ func ParseText(r io.Reader) (*Store, error) {
 		seenKeys   map[string]bool
 		lineNo     int
 	)
+	// Every relation section stages its tuples into one write group,
+	// committed after the whole file parses: a multi-relation load is a
+	// single publication, so a reader pinning a snapshot mid-load sees
+	// either the entire file's contents or none of it — never relation
+	// EMP loaded and its companion DEPT still empty.
+	group := core.NewWriteGroup()
 	finishScheme := func() error {
 		if curName == "" || curScheme != nil {
 			return nil
@@ -89,9 +95,10 @@ func ParseText(r io.Reader) (*Store, error) {
 		} else {
 			seenKeys[ks] = true
 		}
-		// Tuples accumulate per relation and flush as one batch when the
-		// relation section ends — the bulk-load path: one version bump
-		// and one coalesced index merge for the whole section.
+		// Tuples accumulate per relation and stage as one batch when the
+		// relation section ends; the group commit below publishes every
+		// section at once — one version bump and one coalesced index
+		// merge per relation, one epoch tick for the whole file.
 		pending = append(pending, t)
 		return nil
 	}
@@ -102,10 +109,10 @@ func ParseText(r io.Reader) (*Store, error) {
 		if curRel == nil || len(pending) == 0 {
 			return nil
 		}
-		err := curRel.InsertBatch(pending)
+		group.InsertBatch(curRel, pending)
 		pending = nil
 		seenKeys = nil
-		return err
+		return nil
 	}
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("storage: text line %d: %s", lineNo, fmt.Sprintf(format, args...))
@@ -206,6 +213,9 @@ func ParseText(r io.Reader) (*Store, error) {
 		return nil, fmt.Errorf("storage: text: %w", err)
 	}
 	if err := finishScheme(); err != nil {
+		return nil, fmt.Errorf("storage: text: %w", err)
+	}
+	if err := group.Commit(); err != nil {
 		return nil, fmt.Errorf("storage: text: %w", err)
 	}
 	st.RebuildIndexes()

@@ -1,17 +1,3 @@
-// Package tfunc implements the temporal functions of HRDM.
-//
-// Paper Section 3 defines two families of partial functions over the time
-// domain T: TD_i = {f | f : T → D_i}, the partial functions into each
-// value domain, and TT = {g | g : T → T}, the partial functions from T
-// into itself (backing time-valued attributes). A Func here is one such
-// partial function.
-//
-// Functions are stored at the paper's *representation level*: a sorted
-// list of (interval, value) steps, so that a salary constant over [1,100]
-// costs one entry rather than one hundred. The *model level* view — a
-// total function on its definition lifespan — is recovered through At and,
-// for partially-represented functions, through an interpolation function I
-// (paper Figure 9 and the surrounding discussion).
 package tfunc
 
 import (

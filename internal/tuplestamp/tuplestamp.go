@@ -1,12 +1,3 @@
-// Package tuplestamp implements tuple-level timestamping, the dominant
-// pre-HRDM representation the paper classifies as "efforts ... along this
-// tuple-based line" ([Ben-Zvi 82], [Snodgrass 84]'s TQuel, [Lum 84],
-// [Ariav 84]): history is kept in first normal form as immutable tuple
-// *versions*, each stamped with a closed validity interval [From,To].
-// Any change to any attribute of an object closes the current version and
-// opens a new one, so storage grows with the number of changes times the
-// full tuple width — the redundancy HRDM's attribute-level functions
-// avoid. Baseline for experiments E10 and E11.
 package tuplestamp
 
 import (

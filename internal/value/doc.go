@@ -1,0 +1,9 @@
+// Package value implements the value domains D = {D1, ..., Dn} of HRDM.
+//
+// Each value domain Di is "a set of atomic (non-decomposable) values"
+// (paper Section 3). This package provides a dynamically-typed atomic
+// Value covering the kinds the paper's examples need (integers, floats,
+// strings, booleans, and time points — the latter backing the TT domain
+// of time-valued attributes), the θ comparison relations used by
+// SELECT and θ-JOIN, and domain descriptors for DOM assignments.
+package value

@@ -1,0 +1,8 @@
+// Package workload generates deterministic synthetic histories for the
+// examples, tests and experiments. The paper has no machine experiments;
+// these generators model its own motivating domains — personnel histories
+// with hire/fire/rehire ("reincarnation", Section 1), stock-market data
+// with an evolving schema (Figure 6), and student/course enrollments with
+// temporal referential integrity ("a student can only take a course at
+// time t if both the student and the course exist at time t").
+package workload
