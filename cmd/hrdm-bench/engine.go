@@ -15,6 +15,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hql"
 	"repro/internal/lifespan"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -42,6 +43,15 @@ type benchFile struct {
 	} `json:"workload"`
 	Results  []benchResult      `json:"results"`
 	Speedups map[string]float64 `json:"speedups"`
+	// ScenarioMetrics records, per scenario, the counter increments the
+	// engine's metric registry saw while that scenario ran — plan-cache
+	// traffic, pin retries, index maintenance, write-group commits. The
+	// deltas are taken from live snapshots (no registry resets mid-run),
+	// so they compose: summing them approaches the final totals.
+	ScenarioMetrics map[string]map[string]uint64 `json:"scenario_metrics"`
+	// Metrics is the full registry snapshot at the end of the run,
+	// including gauges and latency histograms (see docs/OBSERVABILITY.md).
+	Metrics obs.Snapshot `json:"metrics"`
 }
 
 // runEngineBench generates the workload, times each operation through
@@ -80,6 +90,15 @@ func runEngineBench(args []string) error {
 	doc.Workload.RefTuples = *refN
 	doc.Workload.HistoryLen = historyLen
 	doc.Speedups = make(map[string]float64)
+	doc.ScenarioMetrics = make(map[string]map[string]uint64)
+
+	// scenario brackets a benchmark scenario with registry snapshots and
+	// records the counter deltas it caused under its name.
+	scenario := func(name string, fn func()) {
+		before := obs.Default.Snapshot()
+		fn()
+		doc.ScenarioMetrics[name] = obs.Default.Snapshot().CounterDelta(before)
+	}
 
 	bench := func(op, variant, query string, naive bool) benchResult {
 		e, err := hql.Parse(query)
@@ -115,15 +134,17 @@ func runEngineBench(args []string) error {
 	}
 
 	pair := func(op, query string) {
-		fmt.Printf("%s: %s\n", op, query)
-		nv := bench(op, "naive", query, true)
-		ix := bench(op, "indexed", query, false)
-		doc.Results = append(doc.Results, nv, ix)
-		if ix.NsPerOp > 0 {
-			s := float64(nv.NsPerOp) / float64(ix.NsPerOp)
-			doc.Speedups[op] = s
-			fmt.Printf("  speedup: %.1f×\n", s)
-		}
+		scenario(op, func() {
+			fmt.Printf("%s: %s\n", op, query)
+			nv := bench(op, "naive", query, true)
+			ix := bench(op, "indexed", query, false)
+			doc.Results = append(doc.Results, nv, ix)
+			if ix.NsPerOp > 0 {
+				s := float64(nv.NsPerOp) / float64(ix.NsPerOp)
+				doc.Speedups[op] = s
+				fmt.Printf("  speedup: %.1f×\n", s)
+			}
+		})
 	}
 
 	pair("timeslice_when", `TIMESLICE EMP AT {[50000,50004]}`)
@@ -133,14 +154,19 @@ func runEngineBench(args []string) error {
 	pair("select_during", `SELECT WHEN SAL > 30000 DURING {[50000,50019]} FROM EMP`)
 	pair("equijoin_key", `REF JOIN EMP ON RNAME = NAME`)
 
-	benchRepeatedQuery(&doc, st, "repeat_query",
-		`SELECT WHEN SAL > 30000 DURING {[50000,50019]} FROM EMP`)
-	benchRepeatedQuery(&doc, st, "repeat_key_eq",
-		fmt.Sprintf(`SELECT WHEN NAME = '%s' FROM EMP`, keyName))
-	benchInsertHeavy(&doc, *n)
-	benchBulkLoad(&doc, *n)
-	benchMultiRelRace(&doc)
-	benchWriteGroup(&doc)
+	scenario("repeat_query", func() {
+		benchRepeatedQuery(&doc, st, "repeat_query",
+			`SELECT WHEN SAL > 30000 DURING {[50000,50019]} FROM EMP`)
+	})
+	scenario("repeat_key_eq", func() {
+		benchRepeatedQuery(&doc, st, "repeat_key_eq",
+			fmt.Sprintf(`SELECT WHEN NAME = '%s' FROM EMP`, keyName))
+	})
+	scenario("insert_query_mix", func() { benchInsertHeavy(&doc, *n) })
+	scenario("bulk_load", func() { benchBulkLoad(&doc, *n) })
+	scenario("multi_rel_race", func() { benchMultiRelRace(&doc) })
+	scenario("write_group", func() { benchWriteGroup(&doc) })
+	doc.Metrics = obs.Default.Snapshot()
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -13,13 +13,19 @@
 // \loadtext PATH / \dumptext PATH use the human-editable text format
 // (see internal/storage/text.go), \merge PATH stages a text file's
 // relations into the current store and publishes them as one atomic
-// cross-relation write group (see docs/ARCHITECTURE.md), \q quits.
+// cross-relation write group (see docs/ARCHITECTURE.md), \metrics
+// [json] dumps the engine metrics registry, \slowlog [N] pages the
+// slow-query log, \set slowlog_ms N tunes its threshold (see
+// docs/OBSERVABILITY.md), \q quits.
 // EXPLAIN QUERY prints the
 // physical plan the engine would run — which indexes it probes, what
 // falls back to the naive operators, the cost estimates, and the
 // epoch snapshot a run would pin — without executing the plan
 // (lifespan parameters, including WHEN sub-queries, are still
-// resolved during planning). Anything else is parsed as an
+// resolved during planning); EXPLAIN ANALYZE QUERY executes the
+// plan with a per-operator profiler attached and annotates the tree
+// with actual rows, wall time, self time and index lookups (see
+// docs/EXPLAIN.md). Anything else is parsed as an
 // HQL query; see
 // internal/hql for the grammar. Queries run through the cost-aware
 // planner of internal/engine (lifespan interval indexes plus key and
@@ -32,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -90,6 +97,33 @@ func main() {
 		case line == `\opt`:
 			useOptimizer = !useOptimizer
 			fmt.Printf("  optimizer now %v\n", useOptimizer)
+		case line == `\metrics`:
+			fmt.Println(metricsReport(false))
+		case line == `\metrics json`:
+			fmt.Println(metricsReport(true))
+		case line == `\slowlog` || strings.HasPrefix(line, `\slowlog `):
+			n := 10
+			if rest := strings.TrimSpace(strings.TrimPrefix(line, `\slowlog`)); rest != "" {
+				v, err := strconv.Atoi(rest)
+				if err != nil || v <= 0 {
+					fmt.Printf("  usage: \\slowlog [N] — N a positive count, got %q\n", rest)
+					continue
+				}
+				n = v
+			}
+			fmt.Println(slowlogReport(n))
+		case strings.HasPrefix(line, `\set `):
+			fields := strings.Fields(line[5:])
+			if len(fields) != 2 {
+				fmt.Println(`  usage: \set slowlog_ms N`)
+				continue
+			}
+			msg, err := setOption(fields[0], fields[1])
+			if err != nil {
+				fmt.Println("  error:", err)
+			} else {
+				fmt.Println(" ", msg)
+			}
 		case line == `\l`:
 			for _, n := range st.Names() {
 				r, _ := st.Get(n)
@@ -188,13 +222,18 @@ var useOptimizer = true
 
 func runQuery(st *storage.Store, q string) error {
 	if rest, ok := cutExplain(q); ok {
+		rest, analyze := cutAnalyze(rest)
 		if rest == "" {
 			// A bare EXPLAIN used to fall through to the HQL parser and
 			// surface as a cryptic parse error; hint at the verb instead.
-			fmt.Println(`usage: EXPLAIN <QUERY> — e.g. EXPLAIN SELECT WHEN SAL = 30000 FROM EMP`)
+			fmt.Println(`usage: EXPLAIN [ANALYZE] <QUERY> — e.g. EXPLAIN SELECT WHEN SAL = 30000 FROM EMP`)
 			return nil
 		}
-		out, err := engine.Explain(rest, st, useOptimizer)
+		explain := engine.Explain
+		if analyze {
+			explain = engine.ExplainAnalyze
+		}
+		out, err := explain(rest, st, useOptimizer)
 		if err != nil {
 			return err
 		}
@@ -220,6 +259,18 @@ func runQuery(st *storage.Store, q string) error {
 func cutExplain(q string) (string, bool) {
 	fields := strings.Fields(q)
 	if len(fields) == 0 || !strings.EqualFold(fields[0], "EXPLAIN") {
+		return q, false
+	}
+	return strings.TrimSpace(strings.TrimSpace(q)[len(fields[0]):]), true
+}
+
+// cutAnalyze strips a leading ANALYZE keyword (any case) from the rest
+// of an EXPLAIN line: EXPLAIN ANALYZE executes the query with the
+// per-operator profiler attached and renders actual rows and timings
+// next to the estimates.
+func cutAnalyze(q string) (string, bool) {
+	fields := strings.Fields(q)
+	if len(fields) == 0 || !strings.EqualFold(fields[0], "ANALYZE") {
 		return q, false
 	}
 	return strings.TrimSpace(strings.TrimSpace(q)[len(fields[0]):]), true

@@ -1,0 +1,70 @@
+// Observability commands of the shell: \metrics renders the engine's
+// metric registry (text or JSON), \slowlog pages the slow-query ring,
+// and \set slowlog_ms tunes the recording threshold. The helpers
+// return strings so main_test.go can assert on them without driving
+// the interactive loop.
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metricsReport renders the process-wide registry: sorted text for
+// human eyes, a JSON snapshot for scripts (`\metrics json`).
+func metricsReport(asJSON bool) string {
+	snap := obs.Default.Snapshot()
+	if asJSON {
+		var b strings.Builder
+		if err := snap.WriteJSON(&b); err != nil {
+			return "error: " + err.Error()
+		}
+		return b.String()
+	}
+	return snap.String()
+}
+
+// slowlogReport renders the n most recent slow queries, newest first,
+// with their stage breakdowns and plan fingerprints.
+func slowlogReport(n int) string {
+	log := obs.Default.SlowLog()
+	entries := log.Last(n)
+	var b strings.Builder
+	fmt.Fprintf(&b, "slow-query log: threshold %s, %d recorded, showing %d\n",
+		log.Threshold(), log.Recorded(), len(entries))
+	for i, e := range entries {
+		fmt.Fprintf(&b, "[%d] %s  (epoch %d)\n    %s\n", i, time.Duration(e.TotalNs), e.Epoch, e.Query)
+		if len(e.Stages) > 0 {
+			parts := make([]string, len(e.Stages))
+			for j, st := range e.Stages {
+				parts[j] = fmt.Sprintf("%s=%s", st.Name, time.Duration(st.Ns))
+			}
+			fmt.Fprintf(&b, "    stages: %s\n", strings.Join(parts, " "))
+		}
+		if e.Fingerprint != "" {
+			fmt.Fprintf(&b, "    plan: %s\n", e.Fingerprint)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// setOption handles `\set name value`. The only option today is
+// slowlog_ms, the slow-query recording threshold in milliseconds
+// (0 records every query — useful interactively).
+func setOption(name, val string) (string, error) {
+	switch name {
+	case "slowlog_ms":
+		ms, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || ms < 0 {
+			return "", fmt.Errorf("slowlog_ms wants a non-negative integer, got %q", val)
+		}
+		obs.Default.SlowLog().SetThreshold(time.Duration(ms) * time.Millisecond)
+		return fmt.Sprintf("slow-query threshold now %s", time.Duration(ms)*time.Millisecond), nil
+	default:
+		return "", fmt.Errorf("unknown option %q (known: slowlog_ms)", name)
+	}
+}

@@ -3,6 +3,19 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
+)
+
+// Write-group metrics: committed/aborted group counts and the size
+// distributions (staged tuples, touched relations) that tell an
+// operator what the atomic commit unit actually looks like in
+// production — the numbers a future WAL sizes its segments against.
+var (
+	mGroupCommits   = obs.Default.Counter("core.writegroup.commits")
+	mGroupAborts    = obs.Default.Counter("core.writegroup.aborts")
+	mGroupTuples    = obs.Default.Histogram("core.writegroup.tuples")
+	mGroupRelations = obs.Default.Histogram("core.writegroup.relations")
 )
 
 // WriteGroup is a staged multi-relation mutation: any mix of inserts,
@@ -119,6 +132,7 @@ func (g *WriteGroup) Commit() error {
 	// validation errors below follow the same nothing-applied rule).
 	for _, r := range g.order {
 		if r.origin != nil {
+			mGroupAborts.Inc()
 			return errFrozen(r)
 		}
 	}
@@ -131,7 +145,7 @@ func (g *WriteGroup) Commit() error {
 	// can be captured between two relations of this group. Lock order is
 	// publish.mu → r.mu everywhere; the relation mutexes themselves are
 	// taken in ascending creation order so overlapping groups serialize.
-	publish.mu.RLock()
+	lockPublishShared()
 	for _, r := range rels {
 		r.mu.Lock()
 	}
@@ -149,6 +163,7 @@ func (g *WriteGroup) Commit() error {
 		ap, err := r.validateGroupLocked(g.ops[r])
 		if err != nil {
 			unlockAll()
+			mGroupAborts.Inc()
 			return err
 		}
 		applies = append(applies, ap)
@@ -180,6 +195,9 @@ func (g *WriteGroup) Commit() error {
 		publish.epoch.Add(1)
 	}
 	publish.mu.RUnlock()
+	mGroupCommits.Inc()
+	mGroupTuples.Observe(int64(g.Len()))
+	mGroupRelations.Observe(int64(len(g.order)))
 	for _, d := range deliveries {
 		notify(d.obs, d.rel, d.c)
 	}

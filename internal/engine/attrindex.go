@@ -41,7 +41,7 @@ func NewAttrIndex(r *core.Relation, attr string) *AttrIndex {
 
 // newAttrIndexFrom builds the index from a stable tuple snapshot.
 func newAttrIndexFrom(ts []*core.Tuple, attr string) *AttrIndex {
-	metrics.attrBuilds.Add(1)
+	idxMetrics.attrBuilds.Inc()
 	ix := &AttrIndex{attr: attr, byVal: make(map[string][]*core.Tuple)}
 	for _, t := range ts {
 		ix.addLocked(t)

@@ -2,28 +2,35 @@ package engine
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
-// metrics counts index build and maintenance work so tests and the
-// benchmark harness can assert that single-tuple inserts are absorbed
+// Index build and maintenance work is counted in the process-wide
+// metrics registry (engine.index.*) so tests, the benchmark harness
+// and `\metrics` can all assert that single-tuple inserts are absorbed
 // incrementally instead of triggering full rebuilds.
-var metrics struct {
-	intervalBuilds atomic.Uint64 // full interval-tree (re)builds, incl. overlay compactions
-	attrBuilds     atomic.Uint64 // full attribute-index (re)builds
-	incremental    atomic.Uint64 // single-tuple changes absorbed in place
-	resyncs        atomic.Uint64 // full catch-ups after a missed notification
+var idxMetrics = struct {
+	intervalBuilds *obs.Counter // full interval-tree (re)builds, incl. overlay compactions
+	attrBuilds     *obs.Counter // full attribute-index (re)builds
+	incremental    *obs.Counter // single-tuple changes absorbed in place
+	resyncs        *obs.Counter // full catch-ups after a missed notification
+}{
+	intervalBuilds: obs.Default.Counter("engine.index.interval_builds"),
+	attrBuilds:     obs.Default.Counter("engine.index.attr_builds"),
+	incremental:    obs.Default.Counter("engine.index.incremental"),
+	resyncs:        obs.Default.Counter("engine.index.resyncs"),
 }
 
 // IndexMetrics reports cumulative index-maintenance counters: full
 // interval-index builds, full attribute-index builds, single-tuple
 // changes absorbed incrementally, and full resyncs after missed
-// notifications.
+// notifications. It is a thin typed view over the registry's
+// engine.index.* counters.
 func IndexMetrics() (intervalBuilds, attrBuilds, incremental, resyncs uint64) {
-	return metrics.intervalBuilds.Load(), metrics.attrBuilds.Load(),
-		metrics.incremental.Load(), metrics.resyncs.Load()
+	return idxMetrics.intervalBuilds.Load(), idxMetrics.attrBuilds.Load(),
+		idxMetrics.incremental.Load(), idxMetrics.resyncs.Load()
 }
 
 // RelIndexes is the index set of one relation: a lifespan interval index
@@ -157,7 +164,7 @@ func (x *RelIndexes) RelationChanged(r *core.Relation, c core.Change) {
 			}
 		}
 	}
-	metrics.incremental.Add(1)
+	idxMetrics.incremental.Inc()
 }
 
 // freshSnapshotLocked brings every built structure up to the relation's
@@ -168,7 +175,7 @@ func (x *RelIndexes) freshSnapshotLocked() []*core.Tuple {
 	ts, v := x.rel.SnapshotVersion()
 	if x.stale || v != x.version {
 		if x.interval != nil || len(x.attrs) > 0 {
-			metrics.resyncs.Add(1)
+			idxMetrics.resyncs.Inc()
 			if x.interval != nil {
 				x.interval = newIntervalIndexFrom(ts)
 			}

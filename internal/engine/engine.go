@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/hql"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -19,7 +20,8 @@ import (
 func init() {
 	storage.IndexBuilder = BuildIndexes
 	hql.SetPlanner(func(e hql.Expr, env hql.Env) (hql.Result, bool, error) {
-		return planAndRun(e, env, "")
+		sp := obs.Begin()
+		return planAndRun(e, env, "", &sp)
 	})
 }
 
@@ -37,36 +39,59 @@ const pinRetries = 3
 // the parser runs. Execution is snapshot-isolated: the plan runs
 // against a pinned database state matching its compile-time relation
 // versions, however many relations it touches.
+//
+// Every path through Run carries an obs.Span and lands in finishQuery,
+// so engine.queries / engine.query_total_ns count every query and the
+// slow log sees every outlier. The cached fast path pays exactly three
+// clock reads (span start, pin mark, execute mark) plus finishQuery's
+// atomics — measured against BenchmarkRunCachedKeyEq to stay inside
+// the ~3% overhead budget.
 func Run(src string, env hql.Env) (hql.Result, error) {
+	sp := obs.Begin()
 	srcKey := srcCacheKey(src)
 	if p, ok := planCache.lookup(srcKey, env, false); ok {
 		if snap, pinned := pinPlan(p); pinned {
 			planCache.countHit()
-			return p.run(snap)
+			// One mark covers lookup + pin: splitting them would buy a
+			// clock read for a sub-microsecond distinction.
+			sp.Mark(obs.StagePin)
+			res, err := p.run(snap, &sp)
+			finishQuery(&sp, srcKey, p, snap, err)
+			return res, err
 		}
 		// A writer moved a dependency between the fence check and the
 		// pin; fall through to the parse path, whose own lookup will
 		// drop the stale entry and replan.
+		mPinRetries.Inc()
 	}
 	e, err := hql.Parse(src)
+	sp.Mark(obs.StageParse)
 	if err != nil {
+		finishQuery(&sp, srcKey, nil, nil, err)
 		return hql.Result{}, err
 	}
-	res, handled, err := planAndRun(e, env, srcKey)
+	res, handled, err := planAndRun(e, env, srcKey, &sp)
 	if handled || err != nil {
 		return res, err
 	}
-	return hql.EvalNaive(e, env)
+	res, err = hql.EvalNaive(e, env)
+	sp.Mark(obs.StageExecute)
+	finishQuery(&sp, srcKey, nil, nil, err)
+	return res, err
 }
 
 // Eval plans and executes a parsed expression, with plan caching,
 // snapshot pinning and naive fallback.
 func Eval(e hql.Expr, env hql.Env) (hql.Result, error) {
-	res, handled, err := planAndRun(e, env, "")
+	sp := obs.Begin()
+	res, handled, err := planAndRun(e, env, "", &sp)
 	if handled || err != nil {
 		return res, err
 	}
-	return hql.EvalNaive(e, env)
+	res, err = hql.EvalNaive(e, env)
+	sp.Mark(obs.StageExecute)
+	finishQuery(&sp, astCacheKey(e), nil, nil, err)
+	return res, err
 }
 
 // planAndRun is the shared execution path behind Eval, Run and the hql
@@ -80,36 +105,53 @@ func Eval(e hql.Expr, env hql.Env) (hql.Result, error) {
 // additionally registered as an alias so the raw query text hits
 // before its next parse. handled=false (with nil error) means the
 // planner cannot compile the expression and the caller should fall
-// back to the naive evaluator.
-func planAndRun(e hql.Expr, env hql.Env, srcKey string) (hql.Result, bool, error) {
+// back to the naive evaluator. When it handles the query it also
+// finishes the span (metrics + slow log); on fallback the caller owns
+// the span's ending, timing whatever evaluator it runs instead.
+func planAndRun(e hql.Expr, env hql.Env, srcKey string, sp *obs.Span) (hql.Result, bool, error) {
 	key := astCacheKey(e)
 	for try := 0; try < pinRetries; try++ {
 		if p, ok := planCache.lookup(key, env, try == 0); ok {
+			sp.Mark(obs.StagePlan)
 			if snap, pinned := pinPlan(p); pinned {
+				sp.Mark(obs.StagePin)
 				planCache.addKey(p, srcKey)
-				res, err := p.run(snap)
+				res, err := p.run(snap, sp)
+				finishQuery(sp, key, p, snap, err)
 				return res, true, err
 			}
+			sp.Mark(obs.StagePin)
+			mPinRetries.Inc()
 			continue // dep moved between fence and pin: next lookup drops it
 		}
 		p, err := PlanQuery(e, env)
+		sp.Mark(obs.StagePlan)
 		if err != nil {
+			mNaiveFallback.Inc()
 			return hql.Result{}, false, nil
 		}
 		if snap, pinned := pinPlan(p); pinned {
+			sp.Mark(obs.StagePin)
 			planCache.store([]string{srcKey, key}, p)
-			res, err := p.run(snap)
+			res, err := p.run(snap, sp)
+			finishQuery(sp, key, p, snap, err)
 			return res, true, err
 		}
+		sp.Mark(obs.StagePin)
+		mPinRetries.Inc()
 	}
 	// A continuous writer kept publishing between plan and pin; compile
 	// and pin in one critical section, which cannot fail.
+	mPinExclusive.Inc()
 	p, snap, err := pinPlanExclusive(func() (*Plan, error) { return PlanQuery(e, env) })
+	sp.Mark(obs.StagePin)
 	if err != nil {
+		mNaiveFallback.Inc()
 		return hql.Result{}, false, nil
 	}
 	planCache.store([]string{srcKey, key}, p)
-	res, err := p.run(snap)
+	res, err := p.run(snap, sp)
+	finishQuery(sp, key, p, snap, err)
 	return res, true, err
 }
 

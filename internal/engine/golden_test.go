@@ -33,7 +33,7 @@ var epochRe = regexp.MustCompile(`epoch \d+`)
 // win their costings), a two-tuple REF for joins, and TINY, a relation
 // small enough that the time-slice costing short-circuits before
 // consulting the interval index.
-func goldenStore(t *testing.T) *storage.Store {
+func goldenStore(t testing.TB) *storage.Store {
 	t.Helper()
 	st := storage.NewStore()
 	full := lifespan.Interval(0, 999)

@@ -69,7 +69,7 @@ func newIntervalIndexFrom(ts []*core.Tuple) *IntervalIndex {
 // resetTreeLocked replaces the tree with one built from es and clears
 // the overlay. Callers hold ix.mu (or own ix exclusively).
 func (ix *IntervalIndex) resetTreeLocked(es []ientry) {
-	metrics.intervalBuilds.Add(1)
+	idxMetrics.intervalBuilds.Inc()
 	ix.entries = len(es)
 	ix.maxDepth = 0
 	ix.extra = nil

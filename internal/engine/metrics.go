@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Engine-side metric handles, resolved once against the process-wide
+// registry. Everything the per-query hot path touches is an atomic
+// counter or histogram; the budget is a handful of clock reads and
+// atomic adds per query (see BenchmarkRunCachedKeyEq, which locks the
+// cached-plan path the instrumentation must not tax).
+var (
+	mQueries       = obs.Default.Counter("engine.queries")
+	mQueryErrors   = obs.Default.Counter("engine.query_errors")
+	mNaiveFallback = obs.Default.Counter("engine.naive_fallbacks")
+	mPinRetries    = obs.Default.Counter("engine.pin_retries")
+	mPinExclusive  = obs.Default.Counter("engine.pin_exclusive")
+	mSlowRecorded  = obs.Default.Counter("engine.slowlog.recorded")
+	mQueryTotal    = obs.Default.Histogram("engine.query_total_ns")
+	mEpochAge      = obs.Default.Histogram("engine.snapshot.epoch_age")
+	slowLog        = obs.Default.SlowLog()
+)
+
+// stageHist holds one histogram per lifecycle stage
+// (engine.stage.<name>_ns).
+var stageHist = func() [obs.NumStages]*obs.Histogram {
+	var h [obs.NumStages]*obs.Histogram
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		h[st] = obs.Default.Histogram("engine.stage." + obs.StageName(st) + "_ns")
+	}
+	return h
+}()
+
+// stageHistFloor gates per-stage histogram observation: queries
+// cheaper than this contribute to engine.query_total_ns only. Below a
+// few tens of microseconds the stage split is clock-read noise, and
+// skipping the five observations keeps the cached-plan hot path inside
+// its overhead budget; slow queries — the ones whose stage split
+// matters — always record.
+const stageHistFloor = 50 * time.Microsecond
+
+// finishQuery closes a query's span into the registry: the total and
+// (for non-trivial queries) per-stage histograms, the error and
+// epoch-age accounting, and — past the slow-log threshold — a full
+// slow-query record with normalized text, plan fingerprint, snapshot
+// epoch and stage breakdown. text is used only when p is nil (parse
+// errors, naive fallback); planned queries record the plan's canonical
+// text. A "src:"/"ast:" cache-key prefix on text is stripped lazily,
+// so hot callers can pass the key they already computed.
+func finishQuery(sp *obs.Span, text string, p *Plan, snap *Snapshot, err error) {
+	total := sp.Total()
+	mQueries.Inc()
+	if err != nil {
+		mQueryErrors.Inc()
+	}
+	mQueryTotal.Observe(int64(total))
+	if total >= stageHistFloor {
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			if d := sp.StageDur(st); d > 0 {
+				stageHist[st].Observe(int64(d))
+			}
+		}
+	}
+	var epoch uint64
+	if snap != nil {
+		epoch = snap.Epoch
+		if age := core.Epoch() - epoch; age > 0 {
+			mEpochAge.Observe(int64(age))
+		}
+	}
+	if slowLog.Qualifies(total) {
+		fp := ""
+		if p != nil {
+			text = p.text
+			fp = planFingerprint(p.text, p.deps)
+		} else {
+			text = strings.TrimPrefix(strings.TrimPrefix(text, "src:"), "ast:")
+		}
+		slowLog.Record(obs.SlowQuery{
+			Query: text, Fingerprint: fp, Epoch: epoch,
+			TotalNs: int64(total), Stages: sp.Stages(),
+		})
+		mSlowRecorded.Inc()
+	}
+}

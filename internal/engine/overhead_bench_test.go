@@ -1,0 +1,22 @@
+package engine
+
+import "testing"
+
+// BenchmarkRunCachedKeyEq times the cached-plan Run path end to end —
+// the hot path the observability layer must not tax by more than ~3%.
+func BenchmarkRunCachedKeyEq(b *testing.B) {
+	st := goldenStore(b)
+	q := `SELECT WHEN NAME = 'aaemp' FROM EMP`
+	ResetPlanCache()
+	if _, err := Run(q, st); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(q, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ResetPlanCache()
+}

@@ -92,12 +92,14 @@ type scanNode struct {
 func (n *scanNode) scheme() *schema.Scheme { return n.rel.Scheme() }
 func (n *scanNode) children() []node       { return nil }
 func (n *scanNode) open(s *Snapshot) (iterator, error) {
-	return sliceIter(s.tuplesOf(n.rel)), nil
+	return s.profIter(n, sliceIter(s.tuplesOf(n.rel))), nil
 }
 
 // exec returns the pinned version as a frozen O(1) view, so the naive
 // operators consuming it read the snapshot, not the live relation.
-func (n *scanNode) exec(s *Snapshot) (*core.Relation, error) { return s.relOf(n.rel), nil }
+func (n *scanNode) exec(s *Snapshot) (*core.Relation, error) {
+	return s.profExec(n, func() (*core.Relation, error) { return s.relOf(n.rel), nil })
+}
 func (n *scanNode) estimate() cost {
 	r := float64(n.rel.Cardinality())
 	return cost{rows: r, work: r}
@@ -122,9 +124,9 @@ type indexTimeSliceNode struct {
 
 func (n *indexTimeSliceNode) scheme() *schema.Scheme { return n.rel.Scheme() }
 func (n *indexTimeSliceNode) children() []node       { return nil }
-func (n *indexTimeSliceNode) open(_ *Snapshot) (iterator, error) {
+func (n *indexTimeSliceNode) open(s *Snapshot) (iterator, error) {
 	i := 0
-	return func() (*core.Tuple, error) {
+	return s.profIter(n, func() (*core.Tuple, error) {
 		for i < len(n.cand) {
 			t := n.cand[i]
 			i++
@@ -133,13 +135,15 @@ func (n *indexTimeSliceNode) open(_ *Snapshot) (iterator, error) {
 			}
 		}
 		return nil, nil
-	}, nil
+	}), nil
 }
-func (n *indexTimeSliceNode) exec(_ *Snapshot) (*core.Relation, error) {
+func (n *indexTimeSliceNode) exec(s *Snapshot) (*core.Relation, error) {
 	// cand was resolved at plan time; the engine only executes a plan
 	// against a snapshot pinned at the exact versions it was compiled
 	// for, so the candidate set already describes the pinned state.
-	return core.TimesliceStaticOver(n.rel, n.L, n.cand)
+	return s.profExec(n, func() (*core.Relation, error) {
+		return core.TimesliceStaticOver(n.rel, n.L, n.cand)
+	})
 }
 func (n *indexTimeSliceNode) estimate() cost {
 	k := float64(len(n.cand))
@@ -168,7 +172,7 @@ func (n *timeSliceNode) open(s *Snapshot) (iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return func() (*core.Tuple, error) {
+	return s.profIter(n, func() (*core.Tuple, error) {
 		for {
 			t, err := it()
 			if err != nil || t == nil {
@@ -178,14 +182,16 @@ func (n *timeSliceNode) open(s *Snapshot) (iterator, error) {
 				return nt, nil
 			}
 		}
-	}, nil
+	}), nil
 }
 func (n *timeSliceNode) exec(s *Snapshot) (*core.Relation, error) {
-	it, err := n.open(s)
-	if err != nil {
-		return nil, err
-	}
-	return materialize(n.scheme(), it)
+	return s.profExec(n, func() (*core.Relation, error) {
+		it, err := n.open(s)
+		if err != nil {
+			return nil, err
+		}
+		return materialize(n.scheme(), it)
+	})
 }
 func (n *timeSliceNode) estimate() cost {
 	c := n.child.estimate()
@@ -219,7 +225,7 @@ func (n *filterNode) open(s *Snapshot) (iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return func() (*core.Tuple, error) {
+	return s.profIter(n, func() (*core.Tuple, error) {
 		for {
 			t, err := it()
 			if err != nil || t == nil {
@@ -233,14 +239,16 @@ func (n *filterNode) open(s *Snapshot) (iterator, error) {
 				return nt, nil
 			}
 		}
-	}, nil
+	}), nil
 }
 func (n *filterNode) exec(s *Snapshot) (*core.Relation, error) {
-	it, err := n.open(s)
-	if err != nil {
-		return nil, err
-	}
-	return materialize(n.scheme(), it)
+	return s.profExec(n, func() (*core.Relation, error) {
+		it, err := n.open(s)
+		if err != nil {
+			return nil, err
+		}
+		return materialize(n.scheme(), it)
+	})
 }
 func (n *filterNode) estimate() cost {
 	c := n.child.estimate()
@@ -290,9 +298,9 @@ type indexSelectNode struct {
 
 func (n *indexSelectNode) scheme() *schema.Scheme { return n.rel.Scheme() }
 func (n *indexSelectNode) children() []node       { return nil }
-func (n *indexSelectNode) open(_ *Snapshot) (iterator, error) {
+func (n *indexSelectNode) open(s *Snapshot) (iterator, error) {
 	i := 0
-	return func() (*core.Tuple, error) {
+	return s.profIter(n, func() (*core.Tuple, error) {
 		for i < len(n.cand) {
 			t := n.cand[i]
 			i++
@@ -305,13 +313,15 @@ func (n *indexSelectNode) open(_ *Snapshot) (iterator, error) {
 			}
 		}
 		return nil, nil
-	}, nil
+	}), nil
 }
-func (n *indexSelectNode) exec(_ *Snapshot) (*core.Relation, error) {
-	if n.when {
-		return core.SelectWhenCondOver(n.rel, n.cond, n.L, n.cand)
-	}
-	return core.SelectIfCondOver(n.rel, n.cond, n.L, n.cand)
+func (n *indexSelectNode) exec(s *Snapshot) (*core.Relation, error) {
+	return s.profExec(n, func() (*core.Relation, error) {
+		if n.when {
+			return core.SelectWhenCondOver(n.rel, n.cond, n.L, n.cand)
+		}
+		return core.SelectIfCondOver(n.rel, n.cond, n.L, n.cand)
+	})
 }
 func (n *indexSelectNode) estimate() cost {
 	k := float64(len(n.cand))
@@ -360,7 +370,7 @@ func (n *projectNode) open(s *Snapshot) (iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return func() (*core.Tuple, error) {
+	return s.profIter(n, func() (*core.Tuple, error) {
 		t, err := it()
 		if err != nil || t == nil {
 			return nil, err
@@ -370,14 +380,16 @@ func (n *projectNode) open(s *Snapshot) (iterator, error) {
 			nv[a] = t.Value(a)
 		}
 		return core.NewTuple(n.rs, t.Lifespan(), nv)
-	}, nil
+	}), nil
 }
 func (n *projectNode) exec(s *Snapshot) (*core.Relation, error) {
-	it, err := n.open(s)
-	if err != nil {
-		return nil, err
-	}
-	return materialize(n.rs, it)
+	return s.profExec(n, func() (*core.Relation, error) {
+		it, err := n.open(s)
+		if err != nil {
+			return nil, err
+		}
+		return materialize(n.rs, it)
+	})
 }
 func (n *projectNode) estimate() cost {
 	c := n.child.estimate()
@@ -425,6 +437,7 @@ func (n *indexJoinNode) children() []node       { return []node{n.stream} }
 // probeVal returns the indexed-side tuples whose attribute could equal
 // v, as of the pinned snapshot.
 func (n *indexJoinNode) probeVal(s *Snapshot, v value.Value) []*core.Tuple {
+	s.profLookup(n)
 	if n.keyProbe {
 		if t, ok := s.lookupKey(n.indexed, v.String()); ok {
 			return []*core.Tuple{t}
@@ -517,7 +530,7 @@ func (n *indexJoinNode) open(s *Snapshot) (iterator, error) {
 	var t *core.Tuple
 	var cand []*core.Tuple
 	ci := 0
-	return func() (*core.Tuple, error) {
+	return s.profIter(n, func() (*core.Tuple, error) {
 		for {
 			for ci < len(cand) {
 				o := cand[ci]
@@ -542,21 +555,25 @@ func (n *indexJoinNode) open(s *Snapshot) (iterator, error) {
 			}
 			cand, ci = candidates(t), 0
 		}
-	}, nil
+	}), nil
 }
 func (n *indexJoinNode) exec(s *Snapshot) (*core.Relation, error) {
 	// When the streamed side is itself a base relation, delegate to the
 	// core fast path (same kernel, one fewer indirection layer),
-	// streaming the pinned snapshot of the base.
-	if sc, ok := n.stream.(*scanNode); ok && n.leftIsStream {
+	// streaming the pinned snapshot of the base. Under EXPLAIN ANALYZE
+	// the generic path runs instead, so the streamed child reports its
+	// own rows and time rather than vanishing into the kernel.
+	if sc, ok := n.stream.(*scanNode); ok && n.leftIsStream && (s == nil || s.prof == nil) {
 		return core.EquiJoinProbeOver(sc.rel, n.indexed, n.streamAttr, n.indexedAttr,
 			s.tuplesOf(sc.rel), n.candidateFn(s))
 	}
-	it, err := n.open(s)
-	if err != nil {
-		return nil, err
-	}
-	return materialize(n.rs, it)
+	return s.profExec(n, func() (*core.Relation, error) {
+		it, err := n.open(s)
+		if err != nil {
+			return nil, err
+		}
+		return materialize(n.rs, it)
+	})
 }
 func (n *indexJoinNode) estimate() cost {
 	c := n.stream.estimate()
@@ -588,16 +605,22 @@ type opNode struct {
 func (n *opNode) scheme() *schema.Scheme { return nil }
 func (n *opNode) children() []node       { return n.kids }
 func (n *opNode) exec(s *Snapshot) (*core.Relation, error) {
-	rels := make([]*core.Relation, len(n.kids))
-	for i, k := range n.kids {
-		r, err := k.exec(s)
-		if err != nil {
-			return nil, err
+	return s.profExec(n, func() (*core.Relation, error) {
+		rels := make([]*core.Relation, len(n.kids))
+		for i, k := range n.kids {
+			r, err := k.exec(s)
+			if err != nil {
+				return nil, err
+			}
+			rels[i] = r
 		}
-		rels[i] = r
-	}
-	return n.apply(rels)
+		return n.apply(rels)
+	})
 }
+
+// open materializes via exec; the slice iterator is deliberately not
+// profiled — exec already measured the node completely, and wrapping
+// the re-stream would double count rows and time.
 func (n *opNode) open(s *Snapshot) (iterator, error) {
 	r, err := n.exec(s)
 	if err != nil {

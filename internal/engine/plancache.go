@@ -6,8 +6,32 @@ import (
 	"sync"
 
 	"repro/internal/hql"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
+
+// Plan-cache metrics live in the process-wide registry so `\metrics`,
+// JSON snapshots and the benchmark harness see them alongside every
+// other engine counter; PlanCacheStats below stays as a thin typed
+// view over the same numbers. Invalidations count fence failures
+// (a dependency relation mutated or was swapped), evictions count LRU
+// overflow — the distinction tells an operator whether the cache is
+// too small or the workload too write-heavy.
+var (
+	mPlanHits          = obs.Default.Counter("engine.plancache.hits")
+	mPlanMisses        = obs.Default.Counter("engine.plancache.misses")
+	mPlanStores        = obs.Default.Counter("engine.plancache.stores")
+	mPlanInvalidations = obs.Default.Counter("engine.plancache.invalidations")
+	mPlanEvictions     = obs.Default.Counter("engine.plancache.evictions")
+)
+
+func init() {
+	obs.Default.GaugeFunc("engine.plancache.entries", func() int64 {
+		planCache.mu.Lock()
+		defer planCache.mu.Unlock()
+		return int64(planCache.lru.Len())
+	})
+}
 
 // The plan cache memoizes compiled physical plans so repeated queries
 // skip parsing and planning — including the plan-time index probes that
@@ -52,8 +76,6 @@ type planCacheT struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 	lru     *list.List // of *cacheEntry; front = most recently used
-	hits    uint64
-	misses  uint64
 }
 
 // maxPlanCache bounds the cache: an LRU of compiled plans, whose
@@ -80,16 +102,15 @@ func (pc *planCacheT) lookup(key string, env hql.Env, count bool) (*Plan, bool) 
 		pc.mu.Lock()
 		pc.removeLocked(ent)
 		pc.mu.Unlock()
+		mPlanInvalidations.Inc()
 		ok = false
 	}
 	if count {
-		pc.mu.Lock()
 		if ok {
-			pc.hits++
+			mPlanHits.Inc()
 		} else {
-			pc.misses++
+			mPlanMisses.Inc()
 		}
-		pc.mu.Unlock()
 	}
 	if !ok {
 		return nil, false
@@ -99,9 +120,7 @@ func (pc *planCacheT) lookup(key string, env hql.Env, count bool) (*Plan, bool) 
 
 // countHit records a hit found through an uncounted alias lookup.
 func (pc *planCacheT) countHit() {
-	pc.mu.Lock()
-	pc.hits++
-	pc.mu.Unlock()
+	mPlanHits.Inc()
 }
 
 // peek reports whether a valid entry exists under key without touching
@@ -127,6 +146,7 @@ func (pc *planCacheT) store(keys []string, p *Plan) {
 		return
 	}
 	fp := planFingerprint(p.text, p.deps)
+	mPlanStores.Inc()
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	pc.sweepStaleLocked()
@@ -159,6 +179,7 @@ func (pc *planCacheT) store(keys []string, p *Plan) {
 	}
 	for pc.lru.Len() > maxPlanCache {
 		pc.removeLocked(pc.lru.Back().Value.(*cacheEntry))
+		mPlanEvictions.Inc()
 	}
 }
 
@@ -179,6 +200,7 @@ func (pc *planCacheT) sweepStaleLocked() {
 		for _, d := range ent.plan.deps {
 			if d.rel.Version() != d.version {
 				pc.removeLocked(ent)
+				mPlanInvalidations.Inc()
 				break
 			}
 		}
@@ -229,11 +251,12 @@ func (pc *planCacheT) removeLocked(ent *cacheEntry) {
 }
 
 // PlanCacheStats reports the cache's cumulative hit and miss counts and
-// its current size.
+// its current size — a typed view over the registry counters
+// engine.plancache.{hits,misses} plus the live entry count.
 func PlanCacheStats() (hits, misses uint64, entries int) {
 	planCache.mu.Lock()
 	defer planCache.mu.Unlock()
-	return planCache.hits, planCache.misses, planCache.lru.Len()
+	return mPlanHits.Load(), mPlanMisses.Load(), planCache.lru.Len()
 }
 
 // InvalidateStalePlans drops every cached plan that no longer
@@ -253,21 +276,25 @@ func InvalidateStalePlans(env hql.Env) (dropped int) {
 		ent := e.Value.(*cacheEntry)
 		if !ent.plan.valid(env) {
 			planCache.removeLocked(ent)
+			mPlanInvalidations.Inc()
 			dropped++
 		}
 	}
 	return dropped
 }
 
-// ResetPlanCache empties the plan cache and zeroes its counters. The
-// benchmark harness uses it to measure cold plan-and-execute against
-// cached execution; tests use it for isolation.
+// ResetPlanCache empties the plan cache and zeroes its hit/miss
+// counters (in the registry — the handles stay valid). The benchmark
+// harness uses it to measure cold plan-and-execute against cached
+// execution; tests use it for isolation, and EXPLAIN's plan-cache line
+// depends on the zeroing for golden-file determinism.
 func ResetPlanCache() {
 	planCache.mu.Lock()
 	defer planCache.mu.Unlock()
 	planCache.entries = make(map[string]*cacheEntry)
 	planCache.lru = list.New()
-	planCache.hits, planCache.misses = 0, 0
+	mPlanHits.Reset()
+	mPlanMisses.Reset()
 }
 
 // srcCacheKey / astCacheKey build the two key namespaces: normalized

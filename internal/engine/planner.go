@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hql"
 	"repro/internal/lifespan"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/value"
 )
@@ -165,18 +166,31 @@ func PlanQuery(e hql.Expr, env hql.Env) (*Plan, error) {
 // plan's compile-time versions before running — there is no
 // best-effort execute-without-verify path. The snapshot is nil only
 // for plan-time sub-query evaluation (evalLS), which runs under the
-// version fence the plan's deps record.
-func (p *Plan) run(s *Snapshot) (hql.Result, error) {
+// version fence the plan's deps record. sp, when non-nil, receives the
+// execute mark after the operator tree runs and — for WHEN and
+// SNAPSHOT queries, whose result is derived from the tree's relation —
+// a materialize mark after the wrap; plain relation results are
+// returned as-is, so their materialize stage is legitimately zero.
+func (p *Plan) run(s *Snapshot, sp *obs.Span) (hql.Result, error) {
 	r, err := p.root.exec(s)
+	if sp != nil {
+		sp.Mark(obs.StageExecute)
+	}
 	if err != nil {
 		return hql.Result{}, err
 	}
 	switch p.kind {
 	case planWhen:
 		ls := core.When(r)
+		if sp != nil {
+			sp.Mark(obs.StageMaterialize)
+		}
 		return hql.Result{Lifespan: &ls}, nil
 	case planSnapshot:
 		snap, err := core.Snapshot(r, p.at)
+		if sp != nil {
+			sp.Mark(obs.StageMaterialize)
+		}
 		if err != nil {
 			return hql.Result{}, err
 		}

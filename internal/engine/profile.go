@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// profiler collects per-operator actuals for EXPLAIN ANALYZE: rows
+// produced, wall time, and index lookups. It is attached to a single
+// query's Snapshot (Snapshot.prof), so normal execution — where prof
+// is nil — pays exactly one nil check per operator open/exec and zero
+// per-tuple cost. A profiler is owned by one executing query and is
+// not safe for concurrent use, which matches how snapshots are used.
+type profiler struct {
+	ops map[node]*opStats
+}
+
+// opStats is one operator's measured execution.
+type opStats struct {
+	rows    int64
+	wall    time.Duration
+	lookups int64
+}
+
+func newProfiler() *profiler {
+	return &profiler{ops: make(map[node]*opStats)}
+}
+
+func (pf *profiler) stats(n node) *opStats {
+	st, ok := pf.ops[n]
+	if !ok {
+		st = &opStats{}
+		pf.ops[n] = st
+	}
+	return st
+}
+
+// profIter wraps an operator's streaming iterator with per-pull timing
+// and row counting. Wall time accumulates (+=) across pulls; a parent
+// that streams its child therefore observes a wall time that includes
+// every child pull, which is what makes self time (wall − Σ child
+// wall) well defined at render time.
+func (s *Snapshot) profIter(n node, it iterator) iterator {
+	if s == nil || s.prof == nil {
+		return it
+	}
+	st := s.prof.stats(n)
+	return func() (*core.Tuple, error) {
+		t0 := time.Now()
+		t, err := it()
+		st.wall += time.Since(t0)
+		if t != nil {
+			st.rows++
+		}
+		return t, err
+	}
+}
+
+// profExec wraps an operator's materializing execution. It assigns
+// (not accumulates) wall and rows: exec is the outermost, complete
+// measurement of the node, and when a node's own open-path iterator
+// also ran inside f (exec via materialize), the assignment supersedes
+// the partial per-pull accumulation instead of double counting it.
+func (s *Snapshot) profExec(n node, f func() (*core.Relation, error)) (*core.Relation, error) {
+	if s == nil || s.prof == nil {
+		return f()
+	}
+	st := s.prof.stats(n)
+	t0 := time.Now()
+	r, err := f()
+	st.wall = time.Since(t0)
+	st.rows = 0
+	if r != nil {
+		st.rows = int64(r.Cardinality())
+	}
+	return r, err
+}
+
+// profLookup counts one index probe against the node's indexed side.
+func (s *Snapshot) profLookup(n node) {
+	if s != nil && s.prof != nil {
+		s.prof.stats(n).lookups++
+	}
+}

@@ -28,6 +28,10 @@ type Snapshot struct {
 	// deps echoes the plan's dependency list (sorted by name) for
 	// rendering; EXPLAIN prints it after the plan.
 	deps []planDep
+	// prof, when non-nil, collects per-operator actuals for EXPLAIN
+	// ANALYZE; normal execution leaves it nil and pays one nil check
+	// per operator.
+	prof *profiler
 }
 
 // pinPlan captures a snapshot of p's dependency relations and reports

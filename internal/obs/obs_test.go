@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryGetOrCreate locks the pointer stability the hot paths
+// rely on: resolving the same name twice returns the same object, so
+// callers may cache the pointer at init and count into it forever.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := New()
+	c1, c2 := r.Counter("a"), r.Counter("a")
+	if c1 != c2 {
+		t.Fatal("Counter(a) returned two distinct objects")
+	}
+	g1, g2 := r.Gauge("g"), r.Gauge("g")
+	if g1 != g2 {
+		t.Fatal("Gauge(g) returned two distinct objects")
+	}
+	h1, h2 := r.Histogram("h"), r.Histogram("h")
+	if h1 != h2 {
+		t.Fatal("Histogram(h) returned two distinct objects")
+	}
+}
+
+// TestRegistryResetInPlace verifies that Reset zeroes metrics without
+// replacing them: a pointer cached before the reset keeps publishing
+// into the registry afterwards.
+func TestRegistryResetInPlace(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	c.Add(7)
+	h.Observe(100)
+	r.Reset()
+	if got := r.Snapshot(); got.Counters["c"] != 0 || got.Histograms["h"].Count != 0 {
+		t.Fatalf("Reset left values behind: %+v", got)
+	}
+	c.Inc()
+	h.Observe(5)
+	got := r.Snapshot()
+	if got.Counters["c"] != 1 {
+		t.Fatalf("cached counter detached after Reset: %d", got.Counters["c"])
+	}
+	if got.Histograms["h"].Count != 1 {
+		t.Fatalf("cached histogram detached after Reset: %+v", got.Histograms["h"])
+	}
+}
+
+// TestRegistryConcurrent hammers counters, gauges, histograms and
+// snapshots from many goroutines — the -race suite for the registry.
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("lat_ns")
+			g := r.Gauge("level")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(seed*1000 + i))
+				g.Set(int64(i))
+				if i%512 == 0 {
+					_ = r.Snapshot() // snapshot racing writers must be safe
+					_ = r.Counter("shared")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared"] != workers*perWorker {
+		t.Fatalf("lost counter increments: %d != %d", s.Counters["shared"], workers*perWorker)
+	}
+	if s.Histograms["lat_ns"].Count != workers*perWorker {
+		t.Fatalf("lost histogram observations: %d", s.Histograms["lat_ns"].Count)
+	}
+}
+
+// TestSnapshotJSONAndDelta exercises the expvar-style dump and the
+// per-scenario counter-delta accounting the benchmark harness uses.
+func TestSnapshotJSONAndDelta(t *testing.T) {
+	r := New()
+	r.Counter("queries").Add(3)
+	r.Gauge("open").Set(2)
+	r.GaugeFunc("derived", func() int64 { return 42 })
+	r.Histogram("total_ns").Observe(1500)
+
+	s := r.Snapshot()
+	if s.Gauges["derived"] != 42 {
+		t.Fatalf("GaugeFunc not evaluated at snapshot time: %+v", s.Gauges)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["queries"] != 3 || back.Histograms["total_ns"].Count != 1 {
+		t.Fatalf("JSON round-trip lost data: %+v", back)
+	}
+
+	prev := s
+	r.Counter("queries").Add(2)
+	r.Counter("untouched")
+	d := r.Snapshot().CounterDelta(prev)
+	if d["queries"] != 2 {
+		t.Fatalf("CounterDelta = %v, want queries:2", d)
+	}
+	if _, ok := d["untouched"]; ok {
+		t.Fatalf("CounterDelta kept a zero delta: %v", d)
+	}
+
+	// A counter reset inside the interval must not wrap the unsigned
+	// subtraction: when the current value sits below prev, the delta
+	// falls back to the count since the reset.
+	r.Counter("queries").Reset()
+	r.Counter("queries").Add(2)
+	if d := r.Snapshot().CounterDelta(prev); d["queries"] != 2 {
+		t.Fatalf("CounterDelta across a reset = %v, want queries:2", d)
+	}
+
+	if out := r.Snapshot().String(); !strings.Contains(out, "queries") || !strings.Contains(out, "total_ns") {
+		t.Fatalf("String rendering missing metrics:\n%s", out)
+	}
+}

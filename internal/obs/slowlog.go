@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSlowLogCap bounds the ring buffer: the most recent entries a
+// \slowlog command can page through.
+const DefaultSlowLogCap = 128
+
+// DefaultSlowThreshold is the initial recording threshold: queries at
+// or above it enter the log. Configurable at runtime (CLI:
+// \set slowlog_ms N).
+const DefaultSlowThreshold = 100 * time.Millisecond
+
+// StageTiming is one named stage of a recorded query's lifecycle.
+type StageTiming struct {
+	Name string `json:"name"`
+	Ns   int64  `json:"ns"`
+}
+
+// SlowQuery is one slow-log record: the normalized query text, the
+// plan's fingerprint (empty for unplannable queries), the snapshot
+// epoch the execution pinned, total wall time, and the per-stage
+// breakdown.
+type SlowQuery struct {
+	Query       string        `json:"query"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Epoch       uint64        `json:"epoch"`
+	TotalNs     int64         `json:"total_ns"`
+	Stages      []StageTiming `json:"stages"`
+	At          time.Time     `json:"at"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of the slowest recent
+// queries. Qualifies is the hot-path gate — one atomic load and a
+// comparison; Record takes the lock only for queries that passed it.
+type SlowLog struct {
+	threshold atomic.Int64 // ns; queries at or above it are recorded
+
+	mu       sync.Mutex
+	ring     []SlowQuery
+	next     int    // ring slot the next record overwrites
+	recorded uint64 // total entries ever recorded (≥ len of ring)
+}
+
+// NewSlowLog returns a slow log holding up to cap entries, at the
+// default threshold.
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &SlowLog{ring: make([]SlowQuery, 0, capacity)}
+	l.threshold.Store(int64(DefaultSlowThreshold))
+	return l
+}
+
+// SetThreshold sets the recording threshold. A zero or negative
+// duration records every query — useful interactively, ruinous for a
+// benchmark.
+func (l *SlowLog) SetThreshold(d time.Duration) { l.threshold.Store(int64(d)) }
+
+// Threshold returns the current recording threshold.
+func (l *SlowLog) Threshold() time.Duration { return time.Duration(l.threshold.Load()) }
+
+// Qualifies reports whether a query of the given total duration should
+// be recorded — the cheap gate callers check before building a record.
+func (l *SlowLog) Qualifies(total time.Duration) bool {
+	return int64(total) >= l.threshold.Load()
+}
+
+// Record appends one entry, overwriting the oldest when full. The
+// caller is expected to have checked Qualifies; Record does not
+// re-check, so forced records (tests, debugging) are possible.
+func (l *SlowLog) Record(q SlowQuery) {
+	if q.At.IsZero() {
+		q.At = time.Now()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, q)
+	} else {
+		l.ring[l.next] = q
+		l.next = (l.next + 1) % cap(l.ring)
+	}
+	l.recorded++
+}
+
+// Last returns up to n entries, newest first.
+func (l *SlowLog) Last(n int) []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.ring) {
+		n = len(l.ring)
+	}
+	out := make([]SlowQuery, 0, n)
+	// Newest entry is the one just before the overwrite cursor once the
+	// ring is full, else the last appended.
+	newest := len(l.ring) - 1
+	if len(l.ring) == cap(l.ring) {
+		newest = (l.next - 1 + cap(l.ring)) % cap(l.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, l.ring[(newest-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// Recorded returns the total number of entries ever recorded,
+// including those the ring has since overwritten.
+func (l *SlowLog) Recorded() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recorded
+}
+
+// Clear empties the ring (the threshold is preserved).
+func (l *SlowLog) Clear() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring = l.ring[:0]
+	l.next = 0
+	l.recorded = 0
+}

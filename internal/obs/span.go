@@ -1,0 +1,68 @@
+package obs
+
+import "time"
+
+// Stage identifies one phase of the query lifecycle. The order is the
+// lifecycle order; rendering and stage histograms follow it.
+type Stage uint8
+
+const (
+	StageParse Stage = iota
+	StagePlan
+	StagePin
+	StageExecute
+	StageMaterialize
+	NumStages
+)
+
+// StageName returns the lifecycle stage's lowercase name.
+func StageName(s Stage) string { return stageNames[s] }
+
+var stageNames = [NumStages]string{"parse", "plan", "pin", "execute", "materialize"}
+
+// Span times one query through its lifecycle stages. It is a value
+// type living on the caller's stack — Begin performs the only clock
+// read that is not a Mark, and Mark is a single monotonic clock read
+// plus two additions, so a fully marked query costs a handful of
+// nanosecond-scale reads. A span is single-goroutine state; queries on
+// different goroutines each carry their own.
+//
+// Mark(stage) attributes all time since the previous mark (or Begin)
+// to stage; marking the same stage again accumulates, which is how a
+// plan-pin retry loop charges each attempt to the right stage. Total
+// is the offset of the last mark — callers end with a final Mark, so
+// finishing costs no extra clock read.
+type Span struct {
+	start time.Time
+	last  time.Duration
+	stage [NumStages]time.Duration
+}
+
+// Begin starts a span now.
+func Begin() Span { return Span{start: time.Now()} }
+
+// Mark attributes the time since the previous mark to stage.
+func (s *Span) Mark(st Stage) {
+	now := time.Since(s.start)
+	s.stage[st] += now - s.last
+	s.last = now
+}
+
+// Total returns the time from Begin to the last Mark.
+func (s *Span) Total() time.Duration { return s.last }
+
+// StageDur returns the accumulated duration of one stage.
+func (s *Span) StageDur(st Stage) time.Duration { return s.stage[st] }
+
+// Stages returns the non-zero stages in lifecycle order — the form the
+// slow-query log records. It allocates; callers on the hot path use
+// StageDur instead.
+func (s *Span) Stages() []StageTiming {
+	out := make([]StageTiming, 0, NumStages)
+	for st := Stage(0); st < NumStages; st++ {
+		if d := s.stage[st]; d > 0 {
+			out = append(out, StageTiming{Name: stageNames[st], Ns: int64(d)})
+		}
+	}
+	return out
+}
