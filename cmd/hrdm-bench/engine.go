@@ -320,7 +320,8 @@ func benchBulkLoad(doc *benchFile, n int) {
 		NumEmployees: n, HistoryLen: 100000, ChangeEvery: 25,
 		ReincarnationProb: 0.2, MaxTenure: 40, Seed: 99,
 	})
-	tuples := src.Tuples()
+	_, srcVers := core.Pin(src)
+	tuples := srcVers[0].Tuples()
 
 	run := func(variant string, load func(dst *core.Relation) error) benchResult {
 		dst := core.NewRelation(src.Scheme())
@@ -623,7 +624,8 @@ func benchRef(refN int, emp *core.Relation) *core.Relation {
 	)
 	ref := core.NewRelation(rs)
 	rng := rand.New(rand.NewSource(17))
-	emps := emp.Tuples()
+	_, empVers := core.Pin(emp)
+	emps := empVers[0].Tuples()
 	for ref.Cardinality() < refN {
 		et := emps[rng.Intn(empN)]
 		ls := et.Lifespan()

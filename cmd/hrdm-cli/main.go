@@ -125,9 +125,16 @@ func main() {
 				fmt.Println(" ", msg)
 			}
 		case line == `\l`:
-			for _, n := range st.Names() {
-				r, _ := st.Get(n)
-				fmt.Printf("  %s (%d tuples, lifespan %s)\n", n, r.Cardinality(), r.Lifespan())
+			// One atomic pin across the catalog, so the listing is a
+			// consistent snapshot even while writers are publishing.
+			names := st.Names()
+			rels := make([]*core.Relation, len(names))
+			for i, n := range names {
+				rels[i], _ = st.Get(n)
+			}
+			_, vers := core.Pin(rels...)
+			for i, n := range names {
+				fmt.Printf("  %s (%d tuples, lifespan %s)\n", n, vers[i].Cardinality(), core.When(vers[i].View()))
 			}
 		case strings.HasPrefix(line, `\d `):
 			name := strings.TrimSpace(line[3:])

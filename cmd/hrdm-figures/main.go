@@ -50,7 +50,8 @@ func figures1to5() {
 	fmt.Println("LS(DEPTREL) =", core.When(dept))
 
 	section(4, "a lifespan per tuple (heterogeneous objects — HRDM)")
-	for _, t := range emp.Tuples() {
+	_, empVers := core.Pin(emp)
+	for _, t := range empVers[0].Tuples() {
 		fmt.Printf("  %-8s ls = %s\n", t.KeyValue("NAME"), t.Lifespan())
 	}
 
@@ -89,7 +90,8 @@ func figures7and8() {
 	section(8, "lifespans associated with both tuples and attributes (heterogeneous tuples)")
 	emp := demoEMP()
 	s := emp.Scheme()
-	for _, t := range emp.Tuples() {
+	_, empVers := core.Pin(emp)
+	for _, t := range empVers[0].Tuples() {
 		fmt.Printf("  %-8s tuple ls %-14s", t.KeyValue("NAME"), t.Lifespan())
 		for _, a := range s.Attrs {
 			if !s.IsKey(a.Name) {

@@ -106,6 +106,29 @@ func (g *WriteGroup) Len() int {
 // Relations reports how many distinct relations the group touches.
 func (g *WriteGroup) Relations() int { return len(g.order) }
 
+// lockRelationsOrdered is the one sanctioned way to hold more than one
+// relation mutex at a time: it write-locks the given relations in
+// ascending creation-id order, so two overlapping groups always contend
+// on their common relations in the same order and cannot deadlock. It
+// returns its own sorted copy; release with unlockRelations.
+func lockRelationsOrdered(rels []*Relation) []*Relation {
+	sorted := append([]*Relation(nil), rels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].id < sorted[j].id })
+	for _, r := range sorted {
+		//lint:allow lockorder canonical ordered acquisition site; the sort above is the ordering argument
+		r.mu.Lock()
+	}
+	return sorted
+}
+
+// unlockRelations releases locks taken by lockRelationsOrdered, in
+// reverse acquisition order.
+func unlockRelations(sorted []*Relation) {
+	for i := len(sorted) - 1; i >= 0; i-- {
+		sorted[i].mu.Unlock()
+	}
+}
+
 // groupApply is one relation's validated outcome, computed under the
 // relation's lock before anything mutates: the tuples to append (with
 // their canonical key strings) and the live slots to overwrite.
@@ -136,9 +159,6 @@ func (g *WriteGroup) Commit() error {
 			return errFrozen(r)
 		}
 	}
-	rels := append([]*Relation(nil), g.order...)
-	sort.Slice(rels, func(i, j int) bool { return rels[i].id < rels[j].id })
-
 	// One publish-lock acquisition covers the whole group. Writers hold
 	// the shared side (distinct groups and single-relation writers still
 	// run concurrently); Pin holds the exclusive side, so no snapshot
@@ -146,13 +166,9 @@ func (g *WriteGroup) Commit() error {
 	// publish.mu → r.mu everywhere; the relation mutexes themselves are
 	// taken in ascending creation order so overlapping groups serialize.
 	lockPublishShared()
-	for _, r := range rels {
-		r.mu.Lock()
-	}
+	rels := lockRelationsOrdered(g.order)
 	unlockAll := func() {
-		for i := len(rels) - 1; i >= 0; i-- {
-			rels[i].mu.Unlock()
-		}
+		unlockRelations(rels)
 		publish.mu.RUnlock()
 	}
 
@@ -185,9 +201,7 @@ func (g *WriteGroup) Commit() error {
 		c, obs := r.applyGroupLocked(ap)
 		deliveries = append(deliveries, delivery{rel: r, obs: obs, c: c})
 	}
-	for i := len(rels) - 1; i >= 0; i-- {
-		rels[i].mu.Unlock()
-	}
+	unlockRelations(rels)
 	if published {
 		// One tick for the whole group: the epoch counts publications,
 		// and the group is one. It moves under the shared side of the

@@ -51,6 +51,7 @@ func analyzeQuery(src string, env hql.Env, optimize bool) (*analysis, error) {
 	sp := obs.Begin()
 	e, err := hql.Parse(src)
 	if err != nil {
+		finishQuery(&sp, src, nil, nil, err)
 		return nil, err
 	}
 	sp.Mark(obs.StageParse)
@@ -63,6 +64,7 @@ func analyzeQuery(src string, env hql.Env, optimize bool) (*analysis, error) {
 		p, err = PlanQuery(e, env)
 		sp.Mark(obs.StagePlan)
 		if err != nil {
+			finishQuery(&sp, src, nil, nil, err)
 			return nil, err
 		}
 		var pinned bool
@@ -77,6 +79,7 @@ func analyzeQuery(src string, env hql.Env, optimize bool) (*analysis, error) {
 			p, snap, err = pinPlanExclusive(func() (*Plan, error) { return PlanQuery(e, env) })
 			sp.Mark(obs.StagePin)
 			if err != nil {
+				finishQuery(&sp, src, nil, nil, err)
 				return nil, err
 			}
 			break

@@ -36,6 +36,7 @@ type AttrIndex struct {
 
 // NewAttrIndex builds the index over r's tuples for the named attribute.
 func NewAttrIndex(r *core.Relation, attr string) *AttrIndex {
+	//lint:allow pindiscipline index builds read the live relation by design; execution resolves probes back through Snapshot.resolve
 	return newAttrIndexFrom(r.Tuples(), attr)
 }
 

@@ -172,6 +172,7 @@ func (x *RelIndexes) RelationChanged(r *core.Relation, c core.Change) {
 // a new structure at a version ahead of x.version. It returns a tuple
 // snapshot consistent with x.version for the caller's own build.
 func (x *RelIndexes) freshSnapshotLocked() []*core.Tuple {
+	//lint:allow pindiscipline index resync deliberately reads the live atomic (tuples, version) pair; probes are version-bounded later
 	ts, v := x.rel.SnapshotVersion()
 	if x.stale || v != x.version {
 		if x.interval != nil || len(x.attrs) > 0 {

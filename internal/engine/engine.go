@@ -21,7 +21,18 @@ func init() {
 	storage.IndexBuilder = BuildIndexes
 	hql.SetPlanner(func(e hql.Expr, env hql.Env) (hql.Result, bool, error) {
 		sp := obs.Begin()
-		return planAndRun(e, env, "", &sp)
+		res, handled, err := planAndRun(e, env, "", &sp)
+		if handled || err != nil {
+			return res, handled, err
+		}
+		// Unplannable expression: run the naive evaluator here rather
+		// than deferring to hql's own fallback, so the span still lands
+		// in finishQuery and naive queries are counted and slow-logged
+		// like planned ones.
+		res, err = hql.EvalNaive(e, env)
+		sp.Mark(obs.StageExecute)
+		finishQuery(&sp, astCacheKey(e), nil, nil, err)
+		return res, true, err
 	})
 }
 

@@ -25,15 +25,18 @@ var (
 	slowLog        = obs.Default.SlowLog()
 )
 
-// stageHist holds one histogram per lifecycle stage
-// (engine.stage.<name>_ns).
-var stageHist = func() [obs.NumStages]*obs.Histogram {
-	var h [obs.NumStages]*obs.Histogram
-	for st := obs.Stage(0); st < obs.NumStages; st++ {
-		h[st] = obs.Default.Histogram("engine.stage." + obs.StageName(st) + "_ns")
-	}
-	return h
-}()
+// stageHist holds one histogram per lifecycle stage, indexed by the
+// obs.Stage constants. The names are spelled out (rather than derived
+// from obs.StageName at init) so the full metric catalog is greppable
+// and auditable against docs/OBSERVABILITY.md — the metricname analyzer
+// enforces exactly this.
+var stageHist = [obs.NumStages]*obs.Histogram{
+	obs.StageParse:       obs.Default.Histogram("engine.stage.parse_ns"),
+	obs.StagePlan:        obs.Default.Histogram("engine.stage.plan_ns"),
+	obs.StagePin:         obs.Default.Histogram("engine.stage.pin_ns"),
+	obs.StageExecute:     obs.Default.Histogram("engine.stage.execute_ns"),
+	obs.StageMaterialize: obs.Default.Histogram("engine.stage.materialize_ns"),
+}
 
 // stageHistFloor gates per-stage histogram observation: queries
 // cheaper than this contribute to engine.query_total_ns only. Below a

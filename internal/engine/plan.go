@@ -626,6 +626,7 @@ func (n *opNode) open(s *Snapshot) (iterator, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow pindiscipline r is the operator's own materialized result, private to this query, not a shared live relation
 	return sliceIter(r.Tuples()), nil
 }
 func (n *opNode) estimate() cost { return n.est }

@@ -127,6 +127,7 @@ func (s *Snapshot) tuplesOf(r *core.Relation) []*core.Tuple {
 			return v.Tuples()
 		}
 	}
+	//lint:allow pindiscipline documented live fallback for relations outside the pin (nil snapshot = unpinned execution)
 	return r.Tuples()
 }
 
@@ -150,6 +151,7 @@ func (s *Snapshot) lookupKey(r *core.Relation, key string) (*core.Tuple, bool) {
 			return v.Lookup(key)
 		}
 	}
+	//lint:allow pindiscipline documented live fallback for relations outside the pin (nil snapshot = unpinned execution)
 	return r.Lookup(key)
 }
 

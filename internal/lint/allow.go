@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces an annotation that silences one analyzer on
+// the annotated line:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// Written on its own line, it covers the next line; written as a
+// trailing comment, it covers its own line. The reason is mandatory —
+// an exemption without a recorded justification is itself a lint
+// error — and the analyzer name must be one the driver knows, so a
+// typo cannot silently disable nothing.
+const allowPrefix = "//lint:allow"
+
+// allowMark is one parsed annotation.
+type allowMark struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+}
+
+// allowIndex maps filename → line → the annotations covering findings
+// on that line.
+type allowIndex map[string]map[int][]allowMark
+
+// indexAllows scans every comment of the package's files for allow
+// annotations. Each annotation at line L covers findings at L (inline
+// trailing form) and L+1 (own-line form above the flagged statement).
+func indexAllows(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				// A "//" inside the annotation starts a trailing comment
+				// (fixtures hang // want expectations there); the reason
+				// ends where it begins.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				mark := allowMark{pos: pos}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					mark.analyzer = fields[0]
+					mark.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				}
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]allowMark)
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], mark)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], mark)
+			}
+		}
+	}
+	return idx
+}
+
+// allowed reports whether a finding of analyzer at position is covered
+// by a well-formed annotation. Malformed annotations never silence
+// anything; the allow analyzer reports them instead.
+func (p *Package) allowed(analyzer string, pos token.Position) bool {
+	for _, m := range p.allows[pos.Filename][pos.Line] {
+		if m.analyzer == analyzer && m.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowAnalyzer validates the annotations themselves: a missing
+// reason, or an analyzer name the driver does not know, is an error —
+// the escape hatch must document why it is open and must actually
+// silence something that exists.
+var AllowAnalyzer = &Analyzer{
+	Name: "allow",
+	Doc:  "//lint:allow annotations carry a known analyzer name and a non-empty reason",
+	Run: func(pass *Pass) error {
+		for _, byLine := range pass.Pkg.allows {
+			seen := make(map[token.Position]bool)
+			for _, marks := range byLine {
+				for _, m := range marks {
+					if seen[m.pos] {
+						continue // each mark is indexed under two lines
+					}
+					seen[m.pos] = true
+					switch {
+					case m.analyzer == "":
+						pass.reportAt(m.pos, "lint:allow annotation names no analyzer (want //lint:allow <analyzer> <reason>)")
+					case !knownAnalyzers[m.analyzer]:
+						pass.reportAt(m.pos, "lint:allow names unknown analyzer %q", m.analyzer)
+					case m.reason == "":
+						pass.reportAt(m.pos, "lint:allow %s carries no reason; exemptions must say why", m.analyzer)
+					}
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// reportAt is Reportf for positions already resolved (annotation
+// diagnostics cannot be silenced by annotations).
+func (p *Pass) reportAt(pos token.Position, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}

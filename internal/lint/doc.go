@@ -1,0 +1,35 @@
+// Package lint implements hrdm-lint: purpose-built static analyzers
+// that mechanically enforce the engine's snapshot, locking, key
+// encoding and observability invariants — the rules docs/ARCHITECTURE.md
+// states in prose and the race suites catch only probabilistically.
+// Each analyzer fails CI on the exact line that breaks its rule, the
+// way go vet fails on a malformed printf verb.
+//
+// The package would normally build on golang.org/x/tools/go/analysis;
+// this module carries no external dependencies, so it ships a small
+// self-contained framework with the same shape: an Analyzer runs over
+// one type-checked Package at a time and reports position-anchored
+// Diagnostics. Packages are loaded through `go list -export`, whose
+// export data feeds the standard library's gc importer — full go/types
+// information without importing x/tools.
+//
+// The analyzers (see docs/LINTING.md for the invariant, a failing
+// example and the fix, per analyzer):
+//
+//   - pindiscipline: engine/hql/cmd code reads relation tuple state
+//     through a pinned snapshot, never raw *core.Relation accessors.
+//   - lockorder: a function locking two or more Relation mutexes must
+//     go through the canonical id-ordered helper WriteGroup.Commit uses.
+//   - spanonce: an obs.Span begun on a path is closed (or handed off)
+//     exactly once on every return path.
+//   - rawkeyjoin: composite key strings are built by value.EncodeKey,
+//     never by hand-joining parts with "|".
+//   - metricname: registry metric names are compile-time constants
+//     matching the layer.subsystem.name convention of
+//     docs/OBSERVABILITY.md.
+//
+// A finding on a legitimately exempt line is silenced by the preceding
+// comment `//lint:allow <analyzer> <reason>`; an annotation without a
+// reason (or naming an unknown analyzer) is itself a lint error,
+// enforced by the allow analyzer.
+package lint

@@ -1,0 +1,97 @@
+// Package linttest runs one analyzer over fixture packages and checks
+// its diagnostics against // want annotations, in the style of
+// golang.org/x/tools/go/analysis/analysistest: a comment
+//
+//	r.Tuples() // want `raw .*Tuples`
+//
+// asserts that the analyzer reports a diagnostic on that line whose
+// message matches the back-quoted (or double-quoted) regular
+// expression. Every expectation must be met by a diagnostic and every
+// diagnostic must meet an expectation; anything unmatched on either
+// side fails the test with its position.
+package linttest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRE extracts the back-quoted or double-quoted patterns following
+// a "// want" marker.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// wantMarker introduces expectations inside a comment. It may trail
+// other comment text (a //lint:allow annotation hangs its own
+// expectation after a second "//").
+const wantMarker = "// want"
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture packages (go list patterns relative to the
+// test's working directory, conventionally ./testdata/src/<analyzer>),
+// applies exactly one analyzer, and diffs its diagnostics against the
+// // want expectations in the fixture sources.
+func Run(t *testing.T, a *lint.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, cmt := range cg.List {
+					i := strings.Index(cmt.Text, wantMarker)
+					if i < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(cmt.Pos())
+					for _, m := range wantRE.FindAllStringSubmatch(cmt.Text[i+len(wantMarker):], -1) {
+						pat := m[1]
+						if pat == "" {
+							pat = m[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s diagnostic matching %q", w.file, w.line, a.Name, w.re)
+		}
+	}
+}

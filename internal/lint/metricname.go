@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// metricNameRE is the layer.subsystem.name convention of
+// docs/OBSERVABILITY.md: two to four lowercase dot-separated segments,
+// each [a-z][a-z0-9_]*. Examples: core.epoch, engine.queries,
+// engine.stage.parse_ns, core.publish.pin_wait_ns.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){1,3}$`)
+
+// registryMethods are the get-or-create accessors of obs.Registry
+// whose first argument is a metric name.
+var registryMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"GaugeFunc": true,
+	"Histogram": true,
+}
+
+// Metricname pins the metric catalog: every name registered against an
+// obs.Registry must be a compile-time constant matching the
+// layer.subsystem.name convention. A name computed at runtime cannot
+// be audited against docs/OBSERVABILITY.md's catalog by reading the
+// code, which is how catalogs silently drift.
+var Metricname = &Analyzer{
+	Name: "metricname",
+	Doc:  "obs.Registry metric names are compile-time constants matching layer.subsystem.name",
+	Run: func(pass *Pass) error {
+		info := pass.Info()
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || !registryMethods[fn.Name()] || !isMethodOn(fn, obsPkg, "Registry", fn.Name()) {
+					return true
+				}
+				name, isConst := constString(info, call.Args[0])
+				if !isConst {
+					pass.Reportf(call.Args[0].Pos(),
+						"metric name passed to Registry.%s is not a compile-time constant; the catalog in docs/OBSERVABILITY.md cannot audit runtime-built names", fn.Name())
+					return true
+				}
+				if !metricNameRE.MatchString(name) {
+					pass.Reportf(call.Args[0].Pos(),
+						"metric name %q does not match the layer.subsystem.name convention (lowercase dot-separated segments, see docs/OBSERVABILITY.md)", name)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// corePkg is the package whose types the analyzers key on. Fixture
+// packages under testdata import the real thing, so the type-based
+// matching is identical in tests and in CI.
+const (
+	corePkg  = "repro/internal/core"
+	obsPkg   = "repro/internal/obs"
+	valuePkg = "repro/internal/value"
+)
+
+// rawReadMethods are the *core.Relation accessors that hand out tuple
+// state from the live relation. Inside the query layers they bypass
+// the epoch/pin snapshot protocol: a multi-relation expression reading
+// relation A through a raw accessor and relation B through another can
+// observe a writer's publication between the two — the exact torn read
+// core.Pin exists to exclude. Version() and Cardinality() are not
+// listed: they are fence/statistics reads that carry no tuple state.
+var rawReadMethods = map[string]bool{
+	"Tuples":          true,
+	"SnapshotVersion": true,
+	"Lookup":          true,
+	"Lifespan":        true,
+}
+
+// Pindiscipline enforces the snapshot read discipline of
+// docs/ARCHITECTURE.md on the layers that execute queries: engine and
+// hql code (and the CLI/bench front ends) must read relation tuple
+// state through a core.Pin — a RelVersion, a frozen View, or the
+// engine's Snapshot accessors — never through the live relation's raw
+// accessors. Plan-time statistics reads and index builders, which are
+// deliberately unpinned, carry //lint:allow annotations stating why.
+var Pindiscipline = &Analyzer{
+	Name:  "pindiscipline",
+	Doc:   "query-layer reads of relation tuple state go through a pinned snapshot, not raw *core.Relation accessors",
+	Scope: []string{"repro/internal/engine", "repro/internal/hql", "repro/cmd"},
+	Run: func(pass *Pass) error {
+		info := pass.Info()
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || !rawReadMethods[fn.Name()] {
+					return true
+				}
+				if !isMethodOn(fn, corePkg, "Relation", fn.Name()) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"raw (*core.Relation).%s read outside a pinned snapshot; read through core.Pin / RelVersion / View (or annotate a deliberate live read with //lint:allow pindiscipline <reason>)",
+					fn.Name())
+				return true
+			})
+		}
+		return nil
+	},
+}

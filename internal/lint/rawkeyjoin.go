@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Rawkeyjoin bans hand-built composite key strings. PR 2 fixed a real
+// injectivity bug of this class: joining key parts with a bare "|"
+// collides whenever a part contains the separator — ("a|b","c") and
+// ("a","b|c") index the same slot — so every composite key string must
+// go through value.EncodeKey, which escapes before joining. The
+// analyzer flags the three ways the bug is written: strings.Join with
+// a "|" separator, string concatenation mixing a "|" literal with
+// dynamic parts, and fmt.Sprintf with "|" in the format. Pure display
+// strings (diagnostic messages) that legitimately render keys with a
+// bare separator carry //lint:allow annotations.
+var Rawkeyjoin = &Analyzer{
+	Name: "rawkeyjoin",
+	Doc:  "composite key strings are built by value.EncodeKey, never by joining parts with \"|\" by hand",
+	Run:  runRawkeyjoin,
+}
+
+func runRawkeyjoin(pass *Pass) error {
+	if pass.Pkg.PkgPath == valuePkg {
+		return nil // the encoder itself owns the separator
+	}
+	info := pass.Info()
+	// walk tracks whether the node sits inside an already-checked
+	// string-concatenation chain, so one chain yields one finding; the
+	// flag resets inside call arguments, which start chains of their
+	// own.
+	var walk func(n ast.Node, inStringAdd bool)
+	walk = func(n ast.Node, inStringAdd bool) {
+		if n == nil {
+			return
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkJoinCall(pass, info, e)
+		case *ast.ParenExpr:
+			walk(e.X, inStringAdd)
+			return
+		case *ast.BinaryExpr:
+			if isStringAdd(info, e) {
+				if !inStringAdd {
+					checkConcat(pass, info, e)
+				}
+				walk(e.X, true)
+				walk(e.Y, true)
+				return
+			}
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, false) })
+	}
+	for _, f := range pass.Pkg.Files {
+		walk(f, false)
+	}
+	return nil
+}
+
+// walkChildren visits the direct children of n.
+func walkChildren(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return c == n
+		}
+		f(c)
+		return false
+	})
+}
+
+// checkJoinCall flags strings.Join(parts, "|") and fmt.Sprintf with a
+// "|" in its format string.
+func checkJoinCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case isPkgFunc(fn, "strings", "Join") && len(call.Args) == 2:
+		if sep, ok := constString(info, call.Args[1]); ok && strings.Contains(sep, "|") {
+			pass.Reportf(call.Pos(), "strings.Join with %q builds a non-injective key string; use value.EncodeKey (escapes separators) or annotate a display-only use", sep)
+		}
+	case isPkgFunc(fn, "fmt", "Sprintf") && len(call.Args) >= 2:
+		if format, ok := constString(info, call.Args[0]); ok && strings.Contains(format, "|") {
+			pass.Reportf(call.Pos(), "fmt.Sprintf format %q splices values around \"|\"; composite keys must go through value.EncodeKey", format)
+		}
+	}
+}
+
+// isStringAdd reports whether e is a + over operands of static string
+// type.
+func isStringAdd(info *types.Info, e *ast.BinaryExpr) bool {
+	if e.Op.String() != "+" {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkConcat flags a string-concatenation chain that mixes a "|"
+// literal with at least one non-constant part. A chain that is
+// entirely constant is just a literal spelled in pieces, not a key
+// built from runtime values.
+func checkConcat(pass *Pass, info *types.Info, root *ast.BinaryExpr) {
+	var hasSep, hasDynamic bool
+	var flatten func(e ast.Expr)
+	flatten = func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if b, ok := e.(*ast.BinaryExpr); ok && isStringAdd(info, b) {
+			flatten(b.X)
+			flatten(b.Y)
+			return
+		}
+		if s, ok := constString(info, e); ok {
+			if strings.Contains(s, "|") {
+				hasSep = true
+			}
+			return
+		}
+		hasDynamic = true
+	}
+	flatten(root)
+	if hasSep && hasDynamic {
+		pass.Reportf(root.Pos(), "string concatenation splices dynamic parts around \"|\"; composite keys must go through value.EncodeKey")
+	}
+}

@@ -1,0 +1,444 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Spanonce enforces exactly-once span accounting, modeled on vet's
+// lostcancel: a function that starts an obs.Span (sp := obs.Begin())
+// must, on every return path, either close it — pass it to a closer,
+// by convention any function named finishQuery — or hand it off (pass
+// the span or its address to any other call, store it, return it),
+// after which the recipient owns the ending. A path that drops a live
+// span loses a query from engine.queries and every histogram; a path
+// that closes one twice double-counts it.
+//
+// The analysis is a conservative abstract interpretation over the
+// function body with three states per span variable — live, closed,
+// escaped — joined across branches and iterated to a fixpoint around
+// loops. Anything it cannot model (goto, labeled break) makes the
+// function unanalyzable and silent, never noisy: the analyzer's
+// findings are all real under its closer/handoff convention.
+var Spanonce = &Analyzer{
+	Name: "spanonce",
+	Doc:  "an obs.Span started on a path is closed (finishQuery) or handed off exactly once on every return path",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						checkSpans(pass, fn.Body)
+					}
+					return true
+				case *ast.FuncLit:
+					checkSpans(pass, fn.Body)
+					return true
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// span states, used as a bitmask so branch joins are unions.
+const (
+	stUnborn  uint8 = 1 << iota // before the obs.Begin assignment
+	stLive                      // begun, not yet closed or handed off
+	stClosed                    // closed exactly once
+	stEscaped                   // handed off; ownership transferred
+)
+
+// spanCheck interprets one function body for one span variable.
+type spanCheck struct {
+	pass     *Pass
+	info     *types.Info
+	obj      types.Object // the span variable
+	beginPos token.Pos    // its obs.Begin assignment
+	deferred bool         // a defer closes the span at every return
+	bailed   bool         // body uses control flow the interpreter won't model
+	breaks   []*uint8     // accumulators for break/continue targets
+	reported map[token.Pos]bool
+}
+
+// report emits one finding per position: loop bodies are interpreted
+// twice to reach a fixpoint, which must not double the diagnostics.
+func (c *spanCheck) report(pos token.Pos, format string, args ...any) {
+	if c.bailed || c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// checkSpans finds each `v := obs.Begin()` in body (at any depth, but
+// not inside nested function literals — those are their own functions)
+// and interprets the body for each.
+func checkSpans(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Info()
+	var walk func(n ast.Node)
+	begins := map[types.Object]token.Pos{}
+	walk = func(n ast.Node) {
+		switch e := n.(type) {
+		case nil, *ast.FuncLit:
+			return
+		case *ast.AssignStmt:
+			if len(e.Lhs) == 1 && len(e.Rhs) == 1 {
+				if call, ok := ast.Unparen(e.Rhs[0]).(*ast.CallExpr); ok && isPkgFunc(calleeFunc(info, call), obsPkg, "Begin") {
+					if id, ok := e.Lhs[0].(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							begins[obj] = call.Pos()
+						} else if obj := info.Uses[id]; obj != nil {
+							begins[obj] = call.Pos()
+						}
+					}
+				}
+			}
+		}
+		walkChildren(n, walk)
+	}
+	walk(body)
+	for obj, pos := range begins {
+		c := &spanCheck{pass: pass, info: info, obj: obj, beginPos: pos, reported: map[token.Pos]bool{}}
+		c.scanDefers(body)
+		out, terminated := c.flowStmts(body.List, stUnborn)
+		if !terminated && !c.bailed {
+			// Implicit return at the closing brace.
+			c.checkReturn(out, body.Rbrace)
+		}
+	}
+}
+
+// scanDefers records whether any defer statement closes the span; a
+// deferred closer runs at every return.
+func (c *spanCheck) scanDefers(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested functions defer on their own behalf
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if c.isCloser(d.Call) && c.mentions(d.Call) {
+				c.deferred = true
+			}
+		}
+		return true
+	})
+}
+
+// isCloser reports whether call is a span closer: any function named
+// finishQuery (the engine's registry sink; fixtures and future layers
+// follow the naming convention).
+func (c *spanCheck) isCloser(call *ast.CallExpr) bool {
+	fn := calleeFunc(c.info, call)
+	return fn != nil && fn.Name() == "finishQuery"
+}
+
+// mentions reports whether the node references the span variable
+// outside of a plain obs.Span method-call receiver position (sp.Mark,
+// sp.Total and friends neither close nor leak the span).
+func (c *spanCheck) mentions(e ast.Node) bool {
+	found := false
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if found || n == nil {
+			return
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && c.info.ObjectOf(id) == c.obj {
+					if fn := calleeFunc(c.info, call); fn != nil && isMethodOn(fn, obsPkg, "Span", fn.Name()) {
+						// Receiver-only use: scan just the arguments.
+						for _, a := range call.Args {
+							walk(a)
+						}
+						return
+					}
+				}
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && c.info.ObjectOf(id) == c.obj {
+			found = true
+			return
+		}
+		walkChildren(n, walk)
+	}
+	walk(e)
+	return found
+}
+
+// evalExpr applies the span transitions an expression performs to the
+// state set: a closer call closes (reporting a double close), any
+// other call or context that sees the span escapes it.
+func (c *spanCheck) evalExpr(e ast.Expr, states uint8) uint8 {
+	if e == nil || !c.mentions(e) {
+		return states
+	}
+	// Closer call with the span among its arguments?
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && c.isCloser(call) {
+		argMentions := false
+		for _, a := range call.Args {
+			if c.mentions(a) {
+				argMentions = true
+			}
+		}
+		if argMentions {
+			if states&stClosed != 0 {
+				c.report(call.Pos(), "obs.Span may already be closed on a path reaching this finishQuery; spans are closed exactly once")
+			}
+			out := states &^ (stLive | stUnborn)
+			out |= stClosed
+			return out
+		}
+	}
+	// Any other mention — handoff to a call, address taken, stored,
+	// captured by a closure — transfers ownership.
+	if states&(stLive|stClosed) != 0 {
+		states = (states &^ stLive) | stEscaped
+	}
+	return states
+}
+
+// checkReturn validates the state set at a return point, applying a
+// deferred closer first.
+func (c *spanCheck) checkReturn(states uint8, pos token.Pos) {
+	if c.bailed {
+		return
+	}
+	if c.deferred {
+		if states&stClosed != 0 {
+			c.report(pos, "return path closes an obs.Span that a deferred finishQuery closes again")
+		}
+		states = (states &^ stLive) | stClosed
+	}
+	if states&stLive != 0 {
+		c.report(pos, "this return path drops a live obs.Span begun at %s; close it with finishQuery or hand it off", c.pass.Fset().Position(c.beginPos))
+	}
+}
+
+// flowStmts interprets a statement sequence. It returns the state set
+// at the fall-through exit and whether the sequence always terminates
+// (return / break / continue) before falling through.
+func (c *spanCheck) flowStmts(stmts []ast.Stmt, in uint8) (uint8, bool) {
+	states := in
+	for _, s := range stmts {
+		var terminated bool
+		states, terminated = c.flowStmt(s, states)
+		if terminated || c.bailed {
+			return states, true
+		}
+	}
+	return states, false
+}
+
+// flowStmt interprets one statement.
+func (c *spanCheck) flowStmt(s ast.Stmt, in uint8) (uint8, bool) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		states := in
+		for _, r := range st.Rhs {
+			states = c.evalExpr(r, states)
+		}
+		// The begin assignment makes the span live; any other write to
+		// the variable ends tracking.
+		for i, l := range st.Lhs {
+			if id, ok := l.(*ast.Ident); ok && c.info.ObjectOf(id) == c.obj {
+				if i < len(st.Rhs) {
+					if call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr); ok && call.Pos() == c.beginPos {
+						return stLive, false
+					}
+				}
+				return stEscaped, false
+			}
+			states = c.evalExpr(l, states) // e.g. m[sp.Total()] = x
+		}
+		return states, false
+	case *ast.ExprStmt:
+		return c.evalExpr(st.X, in), false
+	case *ast.DeclStmt:
+		states := in
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						states = c.evalExpr(v, states)
+					}
+				}
+			}
+		}
+		return states, false
+	case *ast.ReturnStmt:
+		states := in
+		for _, r := range st.Results {
+			states = c.evalExpr(r, states)
+		}
+		c.checkReturn(states, st.Pos())
+		return states, true
+	case *ast.IfStmt:
+		states := in
+		if st.Init != nil {
+			states, _ = c.flowStmt(st.Init, states)
+		}
+		states = c.evalExpr(st.Cond, states)
+		thenOut, thenTerm := c.flowStmts(st.Body.List, states)
+		elseOut, elseTerm := states, false
+		if st.Else != nil {
+			elseOut, elseTerm = c.flowStmt(st.Else, states)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return 0, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return thenOut | elseOut, false
+		}
+	case *ast.BlockStmt:
+		return c.flowStmts(st.List, in)
+	case *ast.ForStmt:
+		states := in
+		if st.Init != nil {
+			states, _ = c.flowStmt(st.Init, states)
+		}
+		states = c.evalExpr(st.Cond, states)
+		if st.Post != nil && c.mentions(st.Post) {
+			c.bailed = true // span transitions in a post statement: unmodeled
+		}
+		return c.flowLoop(st.Body, states, st.Cond == nil), false
+	case *ast.RangeStmt:
+		states := c.evalExpr(st.X, in)
+		return c.flowLoop(st.Body, states, false), false
+	case *ast.SwitchStmt:
+		states := in
+		if st.Init != nil {
+			states, _ = c.flowStmt(st.Init, states)
+		}
+		states = c.evalExpr(st.Tag, states)
+		return c.flowCases(st.Body, states)
+	case *ast.TypeSwitchStmt:
+		states := in
+		if st.Init != nil {
+			states, _ = c.flowStmt(st.Init, states)
+		}
+		return c.flowCases(st.Body, states)
+	case *ast.SelectStmt:
+		return c.flowCases(st.Body, in)
+	case *ast.DeferStmt:
+		// Deferred closers are handled by scanDefers/checkReturn; any
+		// other deferred use is a handoff.
+		if c.isCloser(st.Call) && c.mentions(st.Call) {
+			return in, false
+		}
+		return c.evalExpr(st.Call, in), false
+	case *ast.GoStmt:
+		return c.evalExpr(st.Call, in), false
+	case *ast.LabeledStmt:
+		// Labels imply goto/labeled-break control flow the interpreter
+		// does not model.
+		c.bailed = true
+		return in, false
+	case *ast.BranchStmt:
+		if st.Tok == token.GOTO || st.Label != nil {
+			c.bailed = true
+			return in, true
+		}
+		if st.Tok == token.FALLTHROUGH {
+			// flowCases approximates fallthrough by joining case states.
+			return in, false
+		}
+		// break/continue: the state joins the innermost breakable's exit.
+		if len(c.breaks) > 0 {
+			*c.breaks[len(c.breaks)-1] |= in
+		}
+		return in, true
+	case *ast.IncDecStmt:
+		return c.evalExpr(st.X, in), false
+	case *ast.SendStmt:
+		return c.evalExpr(st.Value, c.evalExpr(st.Chan, in)), false
+	case *ast.EmptyStmt:
+		return in, false
+	default:
+		// Anything unrecognized: stop making claims about this function.
+		c.bailed = true
+		return in, false
+	}
+}
+
+// flowLoop interprets a loop body to a fixpoint: zero, one, or more
+// iterations, with break/continue states joined into the exit.
+// Infinite loops (for {}) only exit through break. When every path
+// through the body terminates (break/return), the body cannot run a
+// second iteration, so the second fixpoint pass — which exists to
+// catch a close flowing around into another close — is skipped.
+func (c *spanCheck) flowLoop(body *ast.BlockStmt, in uint8, infinite bool) uint8 {
+	var acc uint8
+	c.breaks = append(c.breaks, &acc)
+	once, term := c.flowStmts(body.List, in)
+	twice := once
+	if !term {
+		twice, _ = c.flowStmts(body.List, in|once)
+	}
+	c.breaks = c.breaks[:len(c.breaks)-1]
+	if infinite {
+		return acc
+	}
+	return in | once | twice | acc
+}
+
+// flowCases interprets a switch/select body: the union over case
+// clauses, plus the fall-past state when no default exists.
+func (c *spanCheck) flowCases(body *ast.BlockStmt, in uint8) (uint8, bool) {
+	var acc uint8
+	c.breaks = append(c.breaks, &acc)
+	var out uint8
+	hasDefault := false
+	allTerm := true
+	for _, s := range body.List {
+		var clause []ast.Stmt
+		switch cc := s.(type) {
+		case *ast.CaseClause:
+			states := in
+			for _, e := range cc.List {
+				states = c.evalExpr(e, states)
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			clause = cc.Body
+			o, term := c.flowStmts(clause, states)
+			if !term {
+				out |= o
+				allTerm = false
+			}
+		case *ast.CommClause:
+			states := in
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				states, _ = c.flowStmt(cc.Comm, in)
+			}
+			o, term := c.flowStmts(cc.Body, states)
+			if !term {
+				out |= o
+				allTerm = false
+			}
+		}
+	}
+	c.breaks = c.breaks[:len(c.breaks)-1]
+	out |= acc
+	if acc != 0 {
+		allTerm = false
+	}
+	if !hasDefault {
+		out |= in
+		allTerm = false
+	}
+	if len(body.List) == 0 {
+		return in, false
+	}
+	return out, allTerm
+}

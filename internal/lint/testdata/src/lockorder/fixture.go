@@ -1,0 +1,48 @@
+// Fixture for the lockorder analyzer. core.Relation's mu field is
+// unexported, so the fixture models core-internal code with a local
+// Relation twin; the analyzer recognizes the type by name inside
+// testdata packages.
+package lockorder
+
+import "sync"
+
+type Relation struct {
+	id uint64
+	mu sync.Mutex
+}
+
+func lockTwoAdHoc(a, b *Relation) {
+	a.mu.Lock() // want `multiple Relation mutexes ad hoc`
+	b.mu.Lock() // want `multiple Relation mutexes ad hoc`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockInLoop(rels []*Relation) {
+	for _, r := range rels {
+		r.mu.Lock() // want `multiple Relation mutexes ad hoc`
+	}
+	for i := len(rels) - 1; i >= 0; i-- {
+		rels[i].mu.Unlock()
+	}
+}
+
+func lockOne(a *Relation) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.id++
+}
+
+func relockSame(a *Relation) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+func canonicalHelper(rels []*Relation) {
+	for _, r := range rels {
+		//lint:allow lockorder fixture stands in for the id-ordered canonical helper
+		r.mu.Lock()
+	}
+}

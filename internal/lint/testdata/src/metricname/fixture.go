@@ -1,0 +1,23 @@
+// Fixture for the metricname analyzer: obs.Registry names must be
+// compile-time constants matching the layer.subsystem.name convention.
+// The fixture is type-checked, never executed, so registering against
+// obs.Default is inert.
+package metricname
+
+import "repro/internal/obs"
+
+const conventional = "fixture.metrics.good"
+
+var (
+	lit      = obs.Default.Counter("fixture.metrics.queries")
+	konst    = obs.Default.Histogram(conventional)
+	deep     = obs.Default.Gauge("fixture.metrics.depth.level")
+	caps     = obs.Default.Counter("Fixture.Metrics.Bad") // want `does not match the layer\.subsystem\.name convention`
+	flat     = obs.Default.Counter("justonesegment")      // want `does not match the layer\.subsystem\.name convention`
+	computed = obs.Default.Gauge("fixture." + suffix())   // want `not a compile-time constant`
+)
+
+//lint:allow metricname fixture demonstrates the escape hatch
+var allowed = obs.Default.Counter("LEGACY_NAME")
+
+func suffix() string { return "x" }

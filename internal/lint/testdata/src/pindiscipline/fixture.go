@@ -1,0 +1,31 @@
+// Fixture for the pindiscipline analyzer: raw tuple-state reads on a
+// live *core.Relation are flagged; reads through a pinned RelVersion,
+// fence/statistics reads, and annotated deliberate live reads are not.
+package pindiscipline
+
+import "repro/internal/core"
+
+func rawReads(r *core.Relation) {
+	r.Tuples()          // want `raw \(\*core\.Relation\)\.Tuples read outside a pinned snapshot`
+	r.Lookup("k")       // want `raw \(\*core\.Relation\)\.Lookup read outside a pinned snapshot`
+	r.SnapshotVersion() // want `raw \(\*core\.Relation\)\.SnapshotVersion read outside a pinned snapshot`
+	r.Lifespan()        // want `raw \(\*core\.Relation\)\.Lifespan read outside a pinned snapshot`
+}
+
+func pinnedReads(r *core.Relation) {
+	_, vers := core.Pin(r)
+	_ = vers[0].Tuples()
+	if t, ok := vers[0].Lookup("k"); ok {
+		_ = t
+	}
+}
+
+func fenceReads(r *core.Relation) {
+	_ = r.Cardinality()
+	_ = r.Version()
+}
+
+func annotatedLiveRead(r *core.Relation) {
+	//lint:allow pindiscipline fixture exercises the sanctioned escape hatch
+	r.Tuples()
+}

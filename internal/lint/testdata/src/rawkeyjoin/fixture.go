@@ -1,0 +1,35 @@
+// Fixture for the rawkeyjoin analyzer: composite key strings built by
+// splicing parts around a bare "|" are flagged in all three spellings;
+// value.EncodeKey, other separators, constant-only literals, and
+// annotated display-only joins are not.
+package rawkeyjoin
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+func badJoins(parts []string, a, b string) []string {
+	return []string{
+		strings.Join(parts, "|"),   // want `strings\.Join with "\|" builds a non-injective key`
+		a + "|" + b,                // want `concatenation splices dynamic parts around "\|"`
+		fmt.Sprintf("%s|%s", a, b), // want `Sprintf format .* splices values around "\|"`
+	}
+}
+
+func goodJoins(parts []string, a, b string) []string {
+	return []string{
+		value.EncodeKey(parts),
+		strings.Join(parts, ","),
+		a + "-" + b,
+		"lo" + "|" + "hi",
+		fmt.Sprintf("%s-%s", a, b),
+	}
+}
+
+func displayOnly(parts []string) string {
+	//lint:allow rawkeyjoin display-only rendering, never indexed
+	return strings.Join(parts, "|")
+}

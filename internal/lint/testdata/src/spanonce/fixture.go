@@ -1,0 +1,85 @@
+// Fixture for the spanonce analyzer: every path out of a function that
+// begins an obs.Span must close it (any function named finishQuery) or
+// hand it off. The local finishQuery stands in for the engine's; the
+// analyzer matches closers by name, by convention.
+package spanonce
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+func finishQuery(sp *obs.Span) { _ = sp.Total() }
+
+func closedOnAllPaths(fail bool) error {
+	sp := obs.Begin()
+	if fail {
+		finishQuery(&sp)
+		return errBoom
+	}
+	sp.Mark(obs.StageExecute)
+	finishQuery(&sp)
+	return nil
+}
+
+func dropsOnErrorPath(fail bool) error {
+	sp := obs.Begin()
+	if fail {
+		return errBoom // want `drops a live obs\.Span`
+	}
+	finishQuery(&sp)
+	return nil
+}
+
+func doubleClose() {
+	sp := obs.Begin()
+	finishQuery(&sp)
+	finishQuery(&sp) // want `already be closed`
+}
+
+func handsOff() *obs.Span {
+	sp := obs.Begin()
+	return &sp
+}
+
+func handsOffToCall(sink func(*obs.Span)) {
+	sp := obs.Begin()
+	sink(&sp)
+}
+
+func deferredClose(fail bool) error {
+	sp := obs.Begin()
+	defer finishQuery(&sp)
+	if fail {
+		return errBoom
+	}
+	sp.Mark(obs.StageParse)
+	return nil
+}
+
+func deferredDoubleClose(fail bool) {
+	sp := obs.Begin()
+	defer finishQuery(&sp)
+	if fail {
+		finishQuery(&sp)
+		return // want `deferred finishQuery closes again`
+	}
+}
+
+func closeInLoop(n int) {
+	sp := obs.Begin()
+	for i := 0; i < n; i++ {
+		finishQuery(&sp) // want `already be closed`
+	}
+} // want `drops a live obs\.Span`
+
+func marksInLoop(n int) {
+	sp := obs.Begin()
+	for i := 0; i < n; i++ {
+		sp.Mark(obs.StageExecute)
+	}
+	finishQuery(&sp)
+}

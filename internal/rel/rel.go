@@ -59,13 +59,15 @@ func (s *Scheme) Index(a string) int {
 type Tuple []value.Value
 
 // key renders the canonical duplicate-detection string for the whole
-// tuple (classical relations are sets: full-tuple identity).
+// tuple (classical relations are sets: full-tuple identity). The
+// encoding escapes separators so tuples that differ only in where a
+// "|" falls inside a string value do not collide.
 func (t Tuple) key() string {
 	parts := make([]string, len(t))
 	for i, v := range t {
 		parts[i] = v.String()
 	}
-	return strings.Join(parts, "|")
+	return value.EncodeKey(parts)
 }
 
 // Relation is a classical relation: a set of tuples on a scheme.
