@@ -166,6 +166,7 @@ func runEngineBench(args []string) error {
 	scenario("bulk_load", func() { benchBulkLoad(&doc, *n) })
 	scenario("multi_rel_race", func() { benchMultiRelRace(&doc) })
 	scenario("write_group", func() { benchWriteGroup(&doc) })
+	scenario("wal_commit", func() { benchWalCommit(&doc) })
 	doc.Metrics = obs.Default.Snapshot()
 
 	f, err := os.Create(*out)
@@ -639,4 +640,111 @@ func benchRef(refN int, emp *core.Relation) *core.Relation {
 		}
 	}
 	return ref
+}
+
+// benchWalCommit prices durability: the write_group "group" load — one
+// WriteGroup of three 50-tuple batches per round — committed into an
+// in-memory store, into a durable store with the per-commit fsync
+// elided (framing, CRC and LSN bookkeeping only), and into a durable
+// store under the production fsync-before-publish discipline. The
+// recorded overhead ratios are what crash safety costs a group commit;
+// the fsync variant is dominated by the disk's flush latency, which is
+// exactly the point.
+func benchWalCommit(doc *benchFile) {
+	const rounds, batchN, relsN = 200, 50, 3
+	fmt.Printf("wal_commit: %d group commits × %d relations × %d tuples, memory vs WAL(nosync) vs WAL(fsync)\n",
+		rounds, relsN, batchN)
+	full := lifespan.Interval(0, 999)
+	mkScheme := func(name string) *schema.Scheme {
+		return schema.MustNew(name, []string{"K"},
+			schema.Attribute{Name: "K", Domain: value.Strings, Lifespan: full},
+			schema.Attribute{Name: "V", Domain: value.Ints, Lifespan: full, Interp: "step"},
+		)
+	}
+	mkBatch := func(s *schema.Scheme, round int) []*core.Tuple {
+		ts := make([]*core.Tuple, batchN)
+		for j := range ts {
+			ts[j] = core.NewTupleBuilder(s, lifespan.Interval(0, 9)).
+				Key("K", value.String_(fmt.Sprintf("k%06d", round*batchN+j))).
+				Set("V", 0, 9, value.Int(int64(j))).
+				MustBuild()
+		}
+		return ts
+	}
+
+	run := func(variant string, open func() (*storage.Store, func(), error)) benchResult {
+		st, done, err := open()
+		if err != nil {
+			panic(fmt.Sprintf("wal_commit %s: %v", variant, err))
+		}
+		defer done()
+		schemes := make([]*schema.Scheme, relsN)
+		rels := make([]*core.Relation, relsN)
+		for i := range rels {
+			schemes[i] = mkScheme(fmt.Sprintf("W%s%d", variant, i))
+			rels[i] = core.NewRelation(schemes[i])
+			st.Put(rels[i])
+		}
+		prebuilt := make([][][]*core.Tuple, rounds)
+		for i := range prebuilt {
+			prebuilt[i] = make([][]*core.Tuple, relsN)
+			for j := range prebuilt[i] {
+				prebuilt[i][j] = mkBatch(schemes[j], i)
+			}
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			g := core.NewWriteGroup()
+			for j, r := range rels {
+				g.InsertBatch(r, prebuilt[i][j])
+			}
+			if err := g.Commit(); err != nil {
+				panic(fmt.Sprintf("wal_commit %s round %d: %v", variant, i, err))
+			}
+		}
+		total := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		r := benchResult{Op: "wal_commit", Variant: variant, N: rounds * batchN * relsN, Iters: rounds,
+			NsPerOp:     total.Nanoseconds() / rounds,
+			AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / rounds,
+			BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / rounds,
+			ResultRows:  rels[0].Cardinality()}
+		fmt.Printf("  %-28s %-10s %14d ns/op %12d allocs/op %8d rows/rel (total %s)\n",
+			"wal_commit", variant, r.NsPerOp, r.AllocsPerOp, r.ResultRows, total)
+		doc.Results = append(doc.Results, r)
+		return r
+	}
+
+	mem := run("memory", func() (*storage.Store, func(), error) {
+		return storage.NewStore(), func() {}, nil
+	})
+	durable := func(opts storage.DurableOptions) func() (*storage.Store, func(), error) {
+		return func() (*storage.Store, func(), error) {
+			dir, err := os.MkdirTemp("", "hrdm-wal-bench-*")
+			if err != nil {
+				return nil, nil, err
+			}
+			st, _, err := storage.OpenDurableOptions(dir, opts)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, nil, err
+			}
+			// Close (final checkpoint + log release) stays outside the
+			// timed region; the temp dir goes with it.
+			return st, func() { st.Close(); os.RemoveAll(dir) }, nil
+		}
+	}
+	nosync := run("wal_nosync", durable(storage.DurableOptions{NoSync: true}))
+	fsync := run("wal_fsync", durable(storage.DurableOptions{}))
+
+	if mem.NsPerOp > 0 {
+		no := float64(nosync.NsPerOp) / float64(mem.NsPerOp)
+		fs := float64(fsync.NsPerOp) / float64(mem.NsPerOp)
+		doc.Speedups["wal_commit_nosync_overhead"] = no
+		doc.Speedups["wal_commit_fsync_overhead"] = fs
+		fmt.Printf("  WAL overhead vs in-memory group commit: %.2f× without fsync, %.2f× with fsync\n", no, fs)
+	}
 }

@@ -13,7 +13,12 @@
 // \loadtext PATH / \dumptext PATH use the human-editable text format
 // (see internal/storage/text.go), \merge PATH stages a text file's
 // relations into the current store and publishes them as one atomic
-// cross-relation write group (see docs/ARCHITECTURE.md), \metrics
+// cross-relation write group (see docs/ARCHITECTURE.md), \open DIR
+// switches to a durable store backed by a write-ahead log — every
+// committed write group is fsynced before it publishes, and opening
+// replays whatever a crash left in the log, printing a recovery
+// banner — and \checkpoint snapshots it and truncates the log (see
+// docs/DURABILITY.md; -open DIR does the same at startup), \metrics
 // [json] dumps the engine metrics registry, \slowlog [N] pages the
 // slow-query log, \set slowlog_ms N tunes its threshold (see
 // docs/OBSERVABILITY.md), \q quits.
@@ -54,24 +59,41 @@ import (
 func main() {
 	query := flag.String("q", "", "run one query and exit")
 	dbPath := flag.String("db", "", "load a saved store instead of the demo database")
+	openDir := flag.String("open", "", "open a durable (write-ahead-logged) store directory instead of the demo database")
 	optimize := flag.Bool("opt", true, "apply the law-based plan rewrites before evaluating")
 	flag.Parse()
 	useOptimizer = *optimize
 
 	var st *storage.Store
-	if *dbPath != "" {
+	switch {
+	case *openDir != "":
+		opened, stats, err := storage.OpenDurable(*openDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hrdm-cli:", err)
+			os.Exit(1)
+		}
+		st = opened
+		if banner := recoveryBanner(stats); banner != "" {
+			fmt.Println(banner)
+		}
+	case *dbPath != "":
 		loaded, err := storage.Load(*dbPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hrdm-cli:", err)
 			os.Exit(1)
 		}
 		st = loaded
-	} else {
+	default:
 		st = demoStore()
 	}
+	// Durable stores close (checkpoint + WAL release) on every exit
+	// path; for in-memory stores this is a no-op. The shell swaps st on
+	// \open/\load, so close whatever is current then.
+	defer func() { closeStore(st) }()
 
 	if *query != "" {
 		if err := runQuery(st, *query); err != nil {
+			closeStore(st)
 			fmt.Fprintln(os.Stderr, "hrdm-cli:", err)
 			os.Exit(1)
 		}
@@ -143,6 +165,34 @@ func main() {
 			} else {
 				fmt.Printf("  unknown relation %q\n", name)
 			}
+		case strings.HasPrefix(line, `\open `):
+			dir := strings.TrimSpace(line[6:])
+			opened, stats, err := storage.OpenDurable(dir)
+			if err != nil {
+				fmt.Println("  error:", err)
+				continue
+			}
+			closeStore(st)
+			st = opened
+			engine.InvalidateStalePlans(st)
+			if banner := recoveryBanner(stats); banner != "" {
+				fmt.Println(banner)
+			}
+			if names := st.Names(); len(names) > 0 {
+				fmt.Println("  opened durable store", dir, "—", strings.Join(names, ", "))
+			} else {
+				fmt.Println("  opened durable store", dir, "— empty")
+			}
+		case line == `\checkpoint`:
+			if !st.Durable() {
+				fmt.Println(`  error: current store is not durable — \open DIR first`)
+				continue
+			}
+			if err := st.Checkpoint(); err != nil {
+				fmt.Println("  error:", err)
+			} else {
+				fmt.Println("  checkpointed", st.Dir(), "(snapshot written, log truncated)")
+			}
 		case strings.HasPrefix(line, `\save `):
 			path := strings.TrimSpace(line[6:])
 			if err := st.Save(path); err != nil {
@@ -156,6 +206,7 @@ func main() {
 			if err != nil {
 				fmt.Println("  error:", err)
 			} else {
+				closeStore(st)
 				st = loaded
 				// Plans pinned to swapped-out relations can never validate
 				// again; drop exactly those (they would otherwise pin the
@@ -176,6 +227,7 @@ func main() {
 			if err != nil {
 				fmt.Println("  error:", err)
 			} else {
+				closeStore(st)
 				st = loaded
 				engine.InvalidateStalePlans(st)
 				fmt.Println("  loaded", strings.Join(st.Names(), ", "))
@@ -226,6 +278,28 @@ func main() {
 // useOptimizer controls whether queries run through the Section 5
 // law-based rewriter; toggle interactively with \opt.
 var useOptimizer = true
+
+// closeStore checkpoints and releases a durable store (no-op for the
+// in-memory demo/loaded stores), surfacing rather than swallowing a
+// failed final checkpoint.
+func closeStore(st *storage.Store) {
+	if st == nil || !st.Durable() {
+		return
+	}
+	if err := st.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "hrdm-cli: closing durable store:", err)
+	}
+}
+
+// recoveryBanner renders what OpenDurable had to redo, or "" when the
+// store came up clean.
+func recoveryBanner(stats storage.RecoveryStats) string {
+	if !stats.Recovered() {
+		return ""
+	}
+	return fmt.Sprintf("  recovered: replayed %d write groups (%d tuples) past snapshot LSN %d; discarded %d torn log bytes",
+		stats.ReplayedGroups, stats.ReplayedTuples, stats.SnapshotLSN, stats.TornBytes)
+}
 
 func runQuery(st *storage.Store, q string) error {
 	if rest, ok := cutExplain(q); ok {

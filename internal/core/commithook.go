@@ -1,0 +1,54 @@
+package core
+
+import "sync/atomic"
+
+// CommitHook observes a validated write group just before it is
+// applied. It runs inside Commit's critical section — the publish lock
+// held shared, every touched relation's mutex held — after phase-1
+// validation has succeeded and before anything mutates. Returning an
+// error aborts the commit with nothing applied anywhere, exactly like
+// a validation failure; returning nil lets the apply proceed.
+//
+// This is the seam the storage layer's write-ahead log hangs off: the
+// hook serializes and fsyncs the group while the locks guarantee that
+// (a) no Pin can interleave between the log append and the in-memory
+// apply, and (b) groups touching a common relation reach the log in
+// apply order. Core itself stays storage-agnostic.
+//
+// A hook must not stage into or commit write groups, pin, or otherwise
+// take publish/relation locks — it already holds them.
+type CommitHook func(*WriteGroup) error
+
+var commitHook atomic.Pointer[CommitHook]
+
+// SetCommitHook installs h as the process-wide commit hook and returns
+// the previously installed hook (nil if none), so tests can restore
+// it. Pass nil to uninstall.
+func SetCommitHook(h CommitHook) CommitHook {
+	var old *CommitHook
+	if h == nil {
+		old = commitHook.Swap(nil)
+	} else {
+		old = commitHook.Swap(&h)
+	}
+	if old == nil {
+		return nil
+	}
+	return *old
+}
+
+// Ops walks the staged mutations in staging order grouped by relation
+// (the same order Commit validates in), handing fn each tuple and
+// whether it was staged with merging semantics. The callback must not
+// mutate the group or the tuples.
+func (g *WriteGroup) Ops(fn func(r *Relation, t *Tuple, merging bool)) {
+	for _, r := range g.order {
+		for _, op := range g.ops[r] {
+			fn(r, op.tuple, op.merging)
+		}
+	}
+}
+
+// Rels returns the distinct relations the group touches, in staging
+// order. The slice is the group's own — callers must not mutate it.
+func (g *WriteGroup) Rels() []*Relation { return g.order }

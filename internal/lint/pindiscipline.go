@@ -37,7 +37,7 @@ var rawReadMethods = map[string]bool{
 var Pindiscipline = &Analyzer{
 	Name:  "pindiscipline",
 	Doc:   "query-layer reads of relation tuple state go through a pinned snapshot, not raw *core.Relation accessors",
-	Scope: []string{"repro/internal/engine", "repro/internal/hql", "repro/cmd"},
+	Scope: []string{"repro/internal/engine", "repro/internal/hql", "repro/internal/storage", "repro/cmd"},
 	Run: func(pass *Pass) error {
 		info := pass.Info()
 		for _, f := range pass.Pkg.Files {

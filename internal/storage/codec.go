@@ -19,26 +19,41 @@ import (
 const (
 	magic         = 0x4852444d // "HRDM"
 	formatVersion = 1
+	// storeVersion2 is the store-file header version that carries the
+	// WAL sequence number the snapshot is consistent through; the
+	// per-relation record format is unchanged (formatVersion). Load
+	// still accepts version-1 store files (LSN 0).
+	storeVersion2 = 2
 	// maxCount bounds every length field read from untrusted input, so a
 	// corrupted count cannot trigger a giant allocation.
 	maxCount = 1 << 24
 )
 
-// Encode serializes a historical relation (scheme and tuples) to w.
+// Encode serializes a historical relation (scheme and tuples) to w,
+// reading the tuple state through its own core.Pin so a concurrent
+// writer can never yield a torn record.
 func Encode(w io.Writer, r *core.Relation) error {
+	_, vers := core.Pin(r)
 	bw := &errWriter{w: w}
+	encodePinned(bw, vers[0])
+	return bw.err
+}
+
+// encodePinned writes one relation record from a pinned version — the
+// only tuple-read path the binary writer has.
+func encodePinned(bw *errWriter, v core.RelVersion) {
 	bw.u32(magic)
 	bw.u32(formatVersion)
-	encodeScheme(bw, r.Scheme())
-	tuples := r.Tuples()
+	s := v.Rel().Scheme()
+	encodeScheme(bw, s)
+	tuples := v.Tuples()
 	bw.u32(uint32(len(tuples)))
 	for _, t := range tuples {
 		encodeLifespan(bw, t.Lifespan())
-		for _, a := range r.Scheme().Attrs {
+		for _, a := range s.Attrs {
 			encodeFunc(bw, t.Value(a.Name))
 		}
 	}
-	return bw.err
 }
 
 // EncodeBytes is Encode into a fresh buffer.

@@ -329,40 +329,56 @@ func parseValue(tok string, kind value.Kind) (value.Value, error) {
 	return value.Value{}, fmt.Errorf("unsupported kind %v", kind)
 }
 
+// textWriter folds write errors the way errWriter does for the binary
+// codec: the first failure sticks, later prints are no-ops, and the
+// dump surfaces it once at the end — no line can be silently dropped.
+type textWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (tw *textWriter) printf(format string, args ...any) {
+	if tw.err != nil {
+		return
+	}
+	_, tw.err = fmt.Fprintf(tw.w, format, args...)
+}
+
 // DumpText writes a Store in the textual format; ParseText(DumpText(s))
-// reproduces s exactly.
+// reproduces s exactly. The tuple state is one pinned cut of the whole
+// store (a dump racing a write group sees it entirely or not at all),
+// and every write error — including the attr and tuple header lines —
+// propagates, so a full disk yields an error instead of a silently
+// truncated dump that ParseText would later reject.
 func DumpText(w io.Writer, st *Store) error {
-	for _, name := range st.Names() {
-		r, _ := st.Get(name)
-		s := r.Scheme()
-		if _, err := fmt.Fprintf(w, "relation %s key %s\n", s.Name, strings.Join(s.Key, " ")); err != nil {
-			return err
-		}
+	cut := st.pinAll()
+	tw := &textWriter{w: w}
+	for i := range cut.vers {
+		rv := cut.vers[i]
+		s := rv.Rel().Scheme()
+		tw.printf("relation %s key %s\n", s.Name, strings.Join(s.Key, " "))
 		for _, a := range s.Attrs {
 			interp := ""
 			if a.Interp != "" {
 				interp = " " + a.Interp
 			}
-			fmt.Fprintf(w, "  attr %s %s %s%s\n", a.Name, kindName(a.Domain.Kind), a.Lifespan, interp)
+			tw.printf("  attr %s %s %s%s\n", a.Name, kindName(a.Domain.Kind), a.Lifespan, interp)
 		}
-		for _, t := range r.Tuples() {
-			fmt.Fprintf(w, "tuple %s\n", t.Lifespan())
+		for _, t := range rv.Tuples() {
+			tw.printf("tuple %s\n", t.Lifespan())
 			for _, a := range s.Attrs {
-				var werr error
 				t.Value(a.Name).Steps(func(iv chronon.Interval, v value.Value) bool {
-					_, werr = fmt.Fprintf(w, "  %s = %s @ %s\n", a.Name, renderValue(v), lifespan.New(iv))
-					return werr == nil
+					tw.printf("  %s = %s @ %s\n", a.Name, renderValue(v), lifespan.New(iv))
+					return tw.err == nil
 				})
-				if werr != nil {
-					return werr
-				}
 			}
 		}
-		if _, err := fmt.Fprintln(w); err != nil {
-			return err
+		tw.printf("\n")
+		if tw.err != nil {
+			return tw.err
 		}
 	}
-	return nil
+	return tw.err
 }
 
 func kindName(k value.Kind) string {

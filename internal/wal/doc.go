@@ -1,0 +1,16 @@
+// Package wal implements the append-only write-ahead log underneath
+// the durable store: a single file of length-prefixed, CRC-framed,
+// LSN-stamped records, fsynced on every append so that a record handed
+// back to the caller survives a process kill at any instant.
+//
+// The package is deliberately payload-agnostic — a record is an opaque
+// byte slice plus a monotonically increasing log sequence number — so
+// the framing, fsync discipline and torn-tail recovery stay independent
+// of what internal/storage chooses to log (committed write groups; see
+// docs/DURABILITY.md for the payload format and the recovery
+// invariants). Open scans the file, keeps the longest prefix of intact
+// records, and physically truncates anything after the first torn or
+// corrupt frame; TruncateThrough rewrites the log atomically (temp file
+// + rename) for checkpoints, preserving records newer than the
+// checkpoint's snapshot.
+package wal
