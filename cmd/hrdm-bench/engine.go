@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +44,9 @@ type benchFile struct {
 	} `json:"workload"`
 	Results  []benchResult      `json:"results"`
 	Speedups map[string]float64 `json:"speedups"`
+	// ConcurrentClients records the served-over-TCP scaling scenario:
+	// one record per client count (see benchConcurrentClients).
+	ConcurrentClients []serverBenchResult `json:"concurrent_clients"`
 	// ScenarioMetrics records, per scenario, the counter increments the
 	// engine's metric registry saw while that scenario ran — plan-cache
 	// traffic, pin retries, index maintenance, write-group commits. The
@@ -84,6 +88,12 @@ func runEngineBench(args []string) error {
 	// Warm the non-key attribute index outside the timed region, as a
 	// served database would.
 	engine.Indexes(emp).Attr("DEPT")
+	// The indexed variants run through the explicit Session API, exactly
+	// like every other entry point (CLI, server); the naive variants call
+	// hql.EvalNaive directly because the pre-index evaluator IS the
+	// baseline under measurement, not a code path a client would use.
+	ctx := context.Background()
+	sess := engine.OpenDB(st).NewSession()
 
 	var doc benchFile
 	doc.Workload.Tuples = *n
@@ -108,9 +118,10 @@ func runEngineBench(args []string) error {
 		rows := 0
 		run := func() (hql.Result, error) {
 			if naive {
+				//lint:allow sessionapi the naive evaluator IS the measured baseline, not a served path
 				return hql.EvalNaive(e, st)
 			}
-			return engine.Eval(e, st)
+			return sess.Eval(ctx, e)
 		}
 		if res, err := run(); err != nil {
 			panic(fmt.Sprintf("run %q: %v", query, err))
@@ -155,11 +166,11 @@ func runEngineBench(args []string) error {
 	pair("equijoin_key", `REF JOIN EMP ON RNAME = NAME`)
 
 	scenario("repeat_query", func() {
-		benchRepeatedQuery(&doc, st, "repeat_query",
+		benchRepeatedQuery(&doc, sess, "repeat_query",
 			`SELECT WHEN SAL > 30000 DURING {[50000,50019]} FROM EMP`)
 	})
 	scenario("repeat_key_eq", func() {
-		benchRepeatedQuery(&doc, st, "repeat_key_eq",
+		benchRepeatedQuery(&doc, sess, "repeat_key_eq",
 			fmt.Sprintf(`SELECT WHEN NAME = '%s' FROM EMP`, keyName))
 	})
 	scenario("insert_query_mix", func() { benchInsertHeavy(&doc, *n) })
@@ -167,6 +178,10 @@ func runEngineBench(args []string) error {
 	scenario("multi_rel_race", func() { benchMultiRelRace(&doc) })
 	scenario("write_group", func() { benchWriteGroup(&doc) })
 	scenario("wal_commit", func() { benchWalCommit(&doc) })
+	scenario("concurrent_clients", func() {
+		benchConcurrentClients(&doc, st,
+			fmt.Sprintf(`SELECT WHEN NAME = '%s' FROM EMP`, keyName))
+	})
 	doc.Metrics = obs.Default.Snapshot()
 
 	f, err := os.Create(*out)
@@ -190,10 +205,11 @@ func runEngineBench(args []string) error {
 // cold (cache cleared every run, so each run pays parse + plan,
 // including the plan-time index probes) versus cached (every run after
 // the first skips straight to execution).
-func benchRepeatedQuery(doc *benchFile, st *storage.Store, op, q string) {
+func benchRepeatedQuery(doc *benchFile, sess *engine.Session, op, q string) {
 	fmt.Printf("%s: %s (cold plan-and-execute vs plan cache)\n", op, q)
+	ctx := context.Background()
 	rows := 0
-	if res, err := engine.Run(q, st); err != nil {
+	if res, err := sess.Query(ctx, q); err != nil {
 		panic(fmt.Sprintf("run %q: %v", q, err))
 	} else if res.Relation != nil {
 		rows = res.Relation.Cardinality()
@@ -217,15 +233,15 @@ func benchRepeatedQuery(doc *benchFile, st *storage.Store, op, q string) {
 	}
 	cold := record("cold", func() error {
 		engine.ResetPlanCache()
-		_, err := engine.Run(q, st)
+		_, err := sess.Query(ctx, q)
 		return err
 	})
 	engine.ResetPlanCache()
-	if _, err := engine.Run(q, st); err != nil { // prime the cache
+	if _, err := sess.Query(ctx, q); err != nil { // prime the cache
 		panic(err)
 	}
 	cached := record("cached", func() error {
-		_, err := engine.Run(q, st)
+		_, err := sess.Query(ctx, q)
 		return err
 	})
 	if cached.NsPerOp > 0 {
@@ -261,6 +277,8 @@ func benchInsertHeavy(doc *benchFile, n int) {
 		st.RebuildIndexes()
 		engine.Indexes(emp).Attr("DEPT")
 		engine.ResetPlanCache()
+		ctx := context.Background()
+		sess := engine.OpenDB(st).NewSession()
 		queries := []string{
 			`TIMESLICE EMP AT {[50000,50004]}`,
 			`SELECT WHEN DEPT = 'Toys' FROM EMP`,
@@ -282,7 +300,7 @@ func benchInsertHeavy(doc *benchFile, n int) {
 			if invalidate {
 				engine.InvalidateIndexes(emp)
 			}
-			if _, err := engine.Run(queries[i%len(queries)], st); err != nil {
+			if _, err := sess.Query(ctx, queries[i%len(queries)]); err != nil {
 				panic(fmt.Sprintf("query after insert %d: %v", i, err))
 			}
 		}
@@ -391,6 +409,8 @@ func benchMultiRelRace(doc *benchFile) {
 	st.Put(a)
 	st.Put(b)
 	st.RebuildIndexes()
+	ctx := context.Background()
+	sess := engine.OpenDB(st).NewSession()
 
 	stop := make(chan struct{})
 	var writerErr error
@@ -427,7 +447,7 @@ func benchMultiRelRace(doc *benchFile) {
 		default:
 		}
 		q := []string{`B MINUS A`, `A MINUS B`}[queries%2]
-		res, err := engine.Run(q, st)
+		res, err := sess.Query(ctx, q)
 		if err != nil {
 			panic(fmt.Sprintf("multi_rel_race %s: %v", q, err))
 		}
@@ -559,6 +579,8 @@ func benchWriteGroup(doc *benchFile) {
 	st.Put(a)
 	st.Put(b)
 	st.RebuildIndexes()
+	ctx := context.Background()
+	sess := engine.OpenDB(st).NewSession()
 	stop := make(chan struct{})
 	var writerErr error
 	go func() {
@@ -581,7 +603,7 @@ func benchWriteGroup(doc *benchFile) {
 		default:
 		}
 		q := []string{`A MINUS B`, `B MINUS A`}[queries%2]
-		res, err := engine.Run(q, st)
+		res, err := sess.Query(ctx, q)
 		if err != nil {
 			panic(fmt.Sprintf("write_group %s: %v", q, err))
 		}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/hrdmerr"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+// serverBenchResult is one record of the concurrent_clients scenario:
+// the same query stream served over TCP to a growing client population.
+type serverBenchResult struct {
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"` // completed queries (rejections excluded)
+	Rejected int     `json:"rejected"` // typed overloaded rejections past admission
+	QPS      float64 `json:"throughput_qps"`
+	P50us    int64   `json:"p50_us"` // client-observed request latency percentiles
+	P99us    int64   `json:"p99_us"`
+}
+
+// benchConcurrentClients measures the served path end to end: an
+// in-process hrdm-server over the benchmark store, then 1/4/16/64
+// concurrent TCP clients each issuing the same cached key-equality
+// query in a closed loop. Recorded per client count: client-observed
+// p50/p99 latency, aggregate throughput, and how many requests the
+// admission controller shed with a typed overloaded error (MaxInflight
+// is left at its default 16, so the 64-client round genuinely
+// oversubscribes the executor). Every client runs its own session
+// server-side; the plan is compiled once and shared.
+func benchConcurrentClients(doc *benchFile, st *storage.Store, q string) {
+	const perClient = 200
+	fmt.Printf("concurrent_clients: %s ×%d per client over TCP\n", q, perClient)
+	srv := server.New(engine.OpenDB(st), server.Config{
+		Addr:     "127.0.0.1:0",
+		MaxConns: 128, // admit every client; shed load at the executor
+	})
+	if err := srv.Start(); err != nil {
+		panic(fmt.Sprintf("concurrent_clients: start server: %v", err))
+	}
+	defer srv.Shutdown(context.Background())
+
+	req, err := json.Marshal(map[string]string{"op": "query", "q": q})
+	if err != nil {
+		panic(err)
+	}
+	req = append(req, '\n')
+
+	for _, clients := range []int{1, 4, 16, 64} {
+		lats := make([][]time.Duration, clients)
+		rejected := make([]int, clients)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c, err := net.Dial("tcp", srv.Addr())
+				if err != nil {
+					panic(fmt.Sprintf("concurrent_clients: dial: %v", err))
+				}
+				defer c.Close()
+				r := bufio.NewReader(c)
+				lats[i] = make([]time.Duration, 0, perClient)
+				for j := 0; j < perClient; j++ {
+					t0 := time.Now()
+					if _, err := c.Write(req); err != nil {
+						panic(fmt.Sprintf("concurrent_clients: write: %v", err))
+					}
+					line, err := r.ReadBytes('\n')
+					if err != nil {
+						panic(fmt.Sprintf("concurrent_clients: read: %v", err))
+					}
+					var resp struct {
+						OK    bool `json:"ok"`
+						Error *struct {
+							Code int    `json:"code"`
+							Msg  string `json:"msg"`
+						} `json:"error"`
+					}
+					if err := json.Unmarshal(line, &resp); err != nil {
+						panic(fmt.Sprintf("concurrent_clients: bad response %q: %v", line, err))
+					}
+					switch {
+					case resp.OK:
+						lats[i] = append(lats[i], time.Since(t0))
+					case resp.Error != nil && resp.Error.Code == int(hrdmerr.CodeOverloaded):
+						rejected[i]++
+					default:
+						panic(fmt.Sprintf("concurrent_clients: query failed: %s", line))
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		var all []time.Duration
+		shed := 0
+		for i := range lats {
+			all = append(all, lats[i]...)
+			shed += rejected[i]
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		pct := func(p float64) int64 {
+			if len(all) == 0 {
+				return 0
+			}
+			idx := int(p * float64(len(all)-1))
+			return all[idx].Microseconds()
+		}
+		r := serverBenchResult{
+			Clients:  clients,
+			Requests: len(all),
+			Rejected: shed,
+			QPS:      float64(len(all)) / elapsed.Seconds(),
+			P50us:    pct(0.50),
+			P99us:    pct(0.99),
+		}
+		doc.ConcurrentClients = append(doc.ConcurrentClients, r)
+		fmt.Printf("  %3d clients %10.0f qps   p50 %6dµs   p99 %6dµs   %d rejected\n",
+			clients, r.QPS, r.P50us, r.P99us, shed)
+	}
+}

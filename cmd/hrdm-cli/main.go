@@ -40,6 +40,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,11 +49,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/hql"
-	"repro/internal/lifespan"
-	"repro/internal/schema"
+	"repro/internal/hrdmerr"
 	"repro/internal/storage"
-	"repro/internal/value"
 	"repro/internal/workload"
 )
 
@@ -84,17 +82,30 @@ func main() {
 		}
 		st = loaded
 	default:
-		st = demoStore()
+		st = workload.Demo()
 	}
-	// Durable stores close (checkpoint + WAL release) on every exit
-	// path; for in-memory stores this is a no-op. The shell swaps st on
-	// \open/\load, so close whatever is current then.
-	defer func() { closeStore(st) }()
+	// The shell runs everything through an explicit engine.DB + Session
+	// pair rather than poking the store into hql entry points directly:
+	// the session owns the optimizer toggle and threads a context through
+	// every query. \open/\load/\loadtext swap the store, so the DB and
+	// session are rebuilt then; the deferred close (checkpoint + WAL
+	// release for durable stores, no-op otherwise) covers whatever is
+	// current at exit.
+	db := engine.OpenDB(st)
+	sess := db.NewSession()
+	sess.SetOptimize(useOptimizer)
+	defer func() { closeDB(db) }()
+	attach := func(s *storage.Store) {
+		st = s
+		db = engine.OpenDB(s)
+		sess = db.NewSession()
+		sess.SetOptimize(useOptimizer)
+	}
 
 	if *query != "" {
-		if err := runQuery(st, *query); err != nil {
-			closeStore(st)
-			fmt.Fprintln(os.Stderr, "hrdm-cli:", err)
+		if err := runQuery(sess, *query); err != nil {
+			closeDB(db)
+			fmt.Fprintf(os.Stderr, "hrdm-cli: error[%d]: %s\n", hrdmerr.CodeOf(err), hrdmerr.Message(err))
 			os.Exit(1)
 		}
 		return
@@ -118,6 +129,7 @@ func main() {
 			return
 		case line == `\opt`:
 			useOptimizer = !useOptimizer
+			sess.SetOptimize(useOptimizer)
 			fmt.Printf("  optimizer now %v\n", useOptimizer)
 		case line == `\metrics`:
 			fmt.Println(metricsReport(false))
@@ -172,8 +184,8 @@ func main() {
 				fmt.Println("  error:", err)
 				continue
 			}
-			closeStore(st)
-			st = opened
+			closeDB(db)
+			attach(opened)
 			engine.InvalidateStalePlans(st)
 			if banner := recoveryBanner(stats); banner != "" {
 				fmt.Println(banner)
@@ -188,7 +200,7 @@ func main() {
 				fmt.Println(`  error: current store is not durable — \open DIR first`)
 				continue
 			}
-			if err := st.Checkpoint(); err != nil {
+			if err := db.Checkpoint(); err != nil {
 				fmt.Println("  error:", err)
 			} else {
 				fmt.Println("  checkpointed", st.Dir(), "(snapshot written, log truncated)")
@@ -206,8 +218,8 @@ func main() {
 			if err != nil {
 				fmt.Println("  error:", err)
 			} else {
-				closeStore(st)
-				st = loaded
+				closeDB(db)
+				attach(loaded)
 				// Plans pinned to swapped-out relations can never validate
 				// again; drop exactly those (they would otherwise pin the
 				// old store's relations in memory until LRU overflow),
@@ -227,8 +239,8 @@ func main() {
 			if err != nil {
 				fmt.Println("  error:", err)
 			} else {
-				closeStore(st)
-				st = loaded
+				closeDB(db)
+				attach(loaded)
 				engine.InvalidateStalePlans(st)
 				fmt.Println("  loaded", strings.Join(st.Names(), ", "))
 			}
@@ -268,8 +280,11 @@ func main() {
 				fmt.Println("  dumped to", path)
 			}
 		default:
-			if err := runQuery(st, line); err != nil {
-				fmt.Println("  error:", err)
+			if err := runQuery(sess, line); err != nil {
+				// Stable error line: the numeric wire code from the hrdmerr
+				// taxonomy plus the unprefixed message, matching the server's
+				// JSON envelope (docs/SERVER.md).
+				fmt.Printf("  error[%d]: %s\n", hrdmerr.CodeOf(err), hrdmerr.Message(err))
 			}
 		}
 	}
@@ -279,14 +294,14 @@ func main() {
 // law-based rewriter; toggle interactively with \opt.
 var useOptimizer = true
 
-// closeStore checkpoints and releases a durable store (no-op for the
-// in-memory demo/loaded stores), surfacing rather than swallowing a
+// closeDB checkpoints and releases the DB's durable store (no-op for
+// the in-memory demo/loaded stores), surfacing rather than swallowing a
 // failed final checkpoint.
-func closeStore(st *storage.Store) {
-	if st == nil || !st.Durable() {
+func closeDB(db *engine.DB) {
+	if db == nil {
 		return
 	}
-	if err := st.Close(); err != nil {
+	if err := db.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "hrdm-cli: closing durable store:", err)
 	}
 }
@@ -301,7 +316,8 @@ func recoveryBanner(stats storage.RecoveryStats) string {
 		stats.ReplayedGroups, stats.ReplayedTuples, stats.SnapshotLSN, stats.TornBytes)
 }
 
-func runQuery(st *storage.Store, q string) error {
+func runQuery(sess *engine.Session, q string) error {
+	ctx := context.Background()
 	if rest, ok := cutExplain(q); ok {
 		rest, analyze := cutAnalyze(rest)
 		if rest == "" {
@@ -310,22 +326,20 @@ func runQuery(st *storage.Store, q string) error {
 			fmt.Println(`usage: EXPLAIN [ANALYZE] <QUERY> — e.g. EXPLAIN SELECT WHEN SAL = 30000 FROM EMP`)
 			return nil
 		}
-		explain := engine.Explain
+		var out string
+		var err error
 		if analyze {
-			explain = engine.ExplainAnalyze
+			out, err = sess.ExplainAnalyze(ctx, rest)
+		} else {
+			out, err = sess.Explain(rest)
 		}
-		out, err := explain(rest, st, useOptimizer)
 		if err != nil {
 			return err
 		}
 		fmt.Println(out)
 		return nil
 	}
-	run := hql.Run
-	if useOptimizer {
-		run = hql.RunOptimized
-	}
-	res, err := run(q, st)
+	res, err := sess.Query(ctx, q)
 	if err != nil {
 		return err
 	}
@@ -355,73 +369,4 @@ func cutAnalyze(q string) (string, bool) {
 		return q, false
 	}
 	return strings.TrimSpace(strings.TrimSpace(q)[len(fields[0]):]), true
-}
-
-// demoStore assembles the demo database: the paper's EMP example plus
-// workload-generated STOCK and a small SHIP relation with a time-valued
-// attribute for TIME-JOIN demos.
-func demoStore() *storage.Store {
-	st := storage.NewStore()
-
-	full := lifespan.Interval(0, 99)
-	es := schema.MustNew("EMP", []string{"NAME"},
-		schema.Attribute{Name: "NAME", Domain: value.Strings, Lifespan: full},
-		schema.Attribute{Name: "SAL", Domain: value.Ints, Lifespan: full, Interp: "step"},
-		schema.Attribute{Name: "DEPT", Domain: value.Strings, Lifespan: full, Interp: "step"},
-	)
-	emp := core.NewRelation(es)
-	emp.MustInsert(core.NewTupleBuilder(es, lifespan.Interval(0, 9)).
-		Key("NAME", value.String_("John")).
-		Set("SAL", 0, 4, value.Int(30000)).
-		Set("SAL", 5, 9, value.Int(34000)).
-		Set("DEPT", 0, 9, value.String_("Toys")).
-		MustBuild())
-	emp.MustInsert(core.NewTupleBuilder(es, lifespan.Interval(3, 19)).
-		Key("NAME", value.String_("Mary")).
-		Set("SAL", 3, 19, value.Int(40000)).
-		Set("DEPT", 3, 9, value.String_("Shoes")).
-		Set("DEPT", 10, 19, value.String_("Books")).
-		MustBuild())
-	emp.MustInsert(core.NewTupleBuilder(es, lifespan.MustParse("{[0,3],[8,14]}")).
-		Key("NAME", value.String_("Ahmed")).
-		Set("SAL", 0, 3, value.Int(30000)).
-		Set("SAL", 8, 14, value.Int(31000)).
-		Set("DEPT", 0, 3, value.String_("Toys")).
-		Set("DEPT", 8, 14, value.String_("Books")).
-		MustBuild())
-	st.Put(emp)
-
-	ds := schema.MustNew("DEPTREL", []string{"DNAME"},
-		schema.Attribute{Name: "DNAME", Domain: value.Strings, Lifespan: full},
-		schema.Attribute{Name: "FLOOR", Domain: value.Ints, Lifespan: full, Interp: "step"},
-	)
-	dept := core.NewRelation(ds)
-	for i, n := range []string{"Toys", "Shoes", "Books"} {
-		dept.MustInsert(core.NewTupleBuilder(ds, lifespan.Interval(0, 19)).
-			Key("DNAME", value.String_(n)).
-			Set("FLOOR", 0, 19, value.Int(int64(i+1))).
-			MustBuild())
-	}
-	st.Put(dept)
-
-	st.Put(workload.Stock(workload.StockConfig{
-		NumStocks: 5, HistoryLen: 60, VolumeGapLo: 0.4, VolumeGapHi: 0.7, Seed: 42,
-	}))
-
-	ss := schema.MustNew("SHIP", []string{"ID"},
-		schema.Attribute{Name: "ID", Domain: value.Ints, Lifespan: full},
-		schema.Attribute{Name: "SHIPDATE", Domain: value.Times, Lifespan: full},
-	)
-	ship := core.NewRelation(ss)
-	ship.MustInsert(core.NewTupleBuilder(ss, lifespan.Interval(0, 19)).
-		Key("ID", value.Int(1)).
-		Set("SHIPDATE", 0, 19, value.TimeVal(7)).
-		MustBuild())
-	ship.MustInsert(core.NewTupleBuilder(ss, lifespan.Interval(5, 19)).
-		Key("ID", value.Int(2)).
-		Set("SHIPDATE", 5, 12, value.TimeVal(9)).
-		Set("SHIPDATE", 13, 19, value.TimeVal(15)).
-		MustBuild())
-	st.Put(ship)
-	return st
 }

@@ -6,8 +6,18 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/workload"
 )
+
+// demoSession builds the shell's default state: a session with the
+// optimizer on over the demo database.
+func demoSession() *engine.Session {
+	sess := engine.OpenDB(workload.Demo()).NewSession()
+	sess.SetOptimize(true)
+	return sess
+}
 
 func TestCutExplain(t *testing.T) {
 	cases := []struct {
@@ -34,11 +44,11 @@ func TestCutExplain(t *testing.T) {
 // TestRunQueryBareExplain drives the full runQuery path: a bare EXPLAIN
 // must succeed (printing a hint) instead of surfacing an HQL parse error.
 func TestRunQueryBareExplain(t *testing.T) {
-	st := demoStore()
-	if err := runQuery(st, "EXPLAIN"); err != nil {
+	sess := demoSession()
+	if err := runQuery(sess, "EXPLAIN"); err != nil {
 		t.Fatalf("bare EXPLAIN should print a usage hint, got error: %v", err)
 	}
-	if err := runQuery(st, "EXPLAIN TIMESLICE EMP AT {[0,5]}"); err != nil {
+	if err := runQuery(sess, "EXPLAIN TIMESLICE EMP AT {[0,5]}"); err != nil {
 		t.Fatalf("EXPLAIN with query: %v", err)
 	}
 }
@@ -67,11 +77,11 @@ func TestCutAnalyze(t *testing.T) {
 // TestRunQueryExplainAnalyze drives EXPLAIN ANALYZE end to end through
 // runQuery, both bare and with a query.
 func TestRunQueryExplainAnalyze(t *testing.T) {
-	st := demoStore()
-	if err := runQuery(st, "EXPLAIN ANALYZE"); err != nil {
+	sess := demoSession()
+	if err := runQuery(sess, "EXPLAIN ANALYZE"); err != nil {
 		t.Fatalf("bare EXPLAIN ANALYZE should print a usage hint, got error: %v", err)
 	}
-	if err := runQuery(st, "EXPLAIN ANALYZE SELECT WHEN SAL = 30000 FROM EMP"); err != nil {
+	if err := runQuery(sess, "EXPLAIN ANALYZE SELECT WHEN SAL = 30000 FROM EMP"); err != nil {
 		t.Fatalf("EXPLAIN ANALYZE with query: %v", err)
 	}
 }
@@ -80,8 +90,8 @@ func TestRunQueryExplainAnalyze(t *testing.T) {
 // carries the engine counters, the JSON form parses and exposes the
 // same keys under the snapshot's sections.
 func TestMetricsReport(t *testing.T) {
-	st := demoStore()
-	if err := runQuery(st, "SELECT WHEN SAL = 30000 FROM EMP"); err != nil {
+	sess := demoSession()
+	if err := runQuery(sess, "SELECT WHEN SAL = 30000 FROM EMP"); err != nil {
 		t.Fatal(err)
 	}
 	text := metricsReport(false)
@@ -118,8 +128,8 @@ func TestSlowlogAndSetOption(t *testing.T) {
 	if got := obs.Default.SlowLog().Threshold(); got != 0 {
 		t.Fatalf("threshold = %v after \\set slowlog_ms 0", got)
 	}
-	st := demoStore()
-	if err := runQuery(st, "TIMESLICE EMP AT {[0,5]}"); err != nil {
+	sess := demoSession()
+	if err := runQuery(sess, "TIMESLICE EMP AT {[0,5]}"); err != nil {
 		t.Fatal(err)
 	}
 	out := slowlogReport(5)

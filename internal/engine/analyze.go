@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -34,7 +35,14 @@ type analysis struct {
 // returning the annotated plan rendering. When optimize is set the
 // Section 5 rewriter runs first, matching what Run would execute.
 func ExplainAnalyze(src string, env hql.Env, optimize bool) (string, error) {
-	a, err := analyzeQuery(src, env, optimize)
+	return ExplainAnalyzeContext(context.Background(), src, env, optimize)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a context: the profiled
+// execution honors cancellation and deadlines exactly as RunContext
+// does, since EXPLAIN ANALYZE genuinely runs the query.
+func ExplainAnalyzeContext(ctx context.Context, src string, env hql.Env, optimize bool) (string, error) {
+	a, err := analyzeQuery(ctx, src, env, optimize)
 	if err != nil {
 		return "", err
 	}
@@ -47,7 +55,7 @@ func ExplainAnalyze(src string, env hql.Env, optimize bool) (string, error) {
 // snapshot-verified execution Run performs. Expressions the planner
 // cannot compile surface their planning error: there is no naive
 // fallback to attribute per-operator numbers to.
-func analyzeQuery(src string, env hql.Env, optimize bool) (*analysis, error) {
+func analyzeQuery(ctx context.Context, src string, env hql.Env, optimize bool) (*analysis, error) {
 	sp := obs.Begin()
 	e, err := hql.Parse(src)
 	if err != nil {
@@ -68,7 +76,7 @@ func analyzeQuery(src string, env hql.Env, optimize bool) (*analysis, error) {
 			return nil, err
 		}
 		var pinned bool
-		if snap, pinned = pinPlan(p); pinned {
+		if snap, pinned = pinPlan(ctx, p); pinned {
 			sp.Mark(obs.StagePin)
 			break
 		}
@@ -76,7 +84,7 @@ func analyzeQuery(src string, env hql.Env, optimize bool) (*analysis, error) {
 		mPinRetries.Inc()
 		if try+1 >= pinRetries {
 			mPinExclusive.Inc()
-			p, snap, err = pinPlanExclusive(func() (*Plan, error) { return PlanQuery(e, env) })
+			p, snap, err = pinPlanExclusive(ctx, func() (*Plan, error) { return PlanQuery(e, env) })
 			sp.Mark(obs.StagePin)
 			if err != nil {
 				finishQuery(&sp, src, nil, nil, err)

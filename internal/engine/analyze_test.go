@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -77,7 +78,7 @@ func TestAnalyzeAccounting(t *testing.T) {
 		`SELECT WHEN DEPT = 'Toys' FROM EMP`,
 		`REF JOIN EMP ON RNAME = NAME`,
 	} {
-		a, err := analyzeQuery(q, st, false)
+		a, err := analyzeQuery(context.Background(), q, st, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +127,7 @@ func TestAnalyzeAccounting(t *testing.T) {
 // two REF tuples against EMP's key map is exactly two lookups.
 func TestAnalyzeJoinLookups(t *testing.T) {
 	st := goldenStore(t)
-	a, err := analyzeQuery(`REF JOIN EMP ON RNAME = NAME`, st, false)
+	a, err := analyzeQuery(context.Background(), `REF JOIN EMP ON RNAME = NAME`, st, false)
 	if err != nil {
 		t.Fatal(err)
 	}

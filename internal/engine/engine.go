@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hql"
+	"repro/internal/hrdmerr"
 	"repro/internal/obs"
 	"repro/internal/storage"
 )
@@ -19,9 +21,9 @@ import (
 // changes observable behavior — only speed.
 func init() {
 	storage.IndexBuilder = BuildIndexes
-	hql.SetPlanner(func(e hql.Expr, env hql.Env) (hql.Result, bool, error) {
+	hql.SetPlanner(func(ctx context.Context, e hql.Expr, env hql.Env) (hql.Result, bool, error) {
 		sp := obs.Begin()
-		res, handled, err := planAndRun(e, env, "", &sp)
+		res, handled, err := planAndRun(ctx, e, env, "", &sp)
 		if handled || err != nil {
 			return res, handled, err
 		}
@@ -29,7 +31,7 @@ func init() {
 		// than deferring to hql's own fallback, so the span still lands
 		// in finishQuery and naive queries are counted and slow-logged
 		// like planned ones.
-		res, err = hql.EvalNaive(e, env)
+		res, err = hql.EvalNaiveContext(ctx, e, env)
 		sp.Mark(obs.StageExecute)
 		finishQuery(&sp, astCacheKey(e), nil, nil, err)
 		return res, true, err
@@ -58,10 +60,23 @@ const pinRetries = 3
 // atomics — measured against BenchmarkRunCachedKeyEq to stay inside
 // the ~3% overhead budget.
 func Run(src string, env hql.Env) (hql.Result, error) {
+	return RunContext(context.Background(), src, env)
+}
+
+// RunContext is Run under a context: cancellation and deadlines abort
+// execution with a typed hrdmerr error (ErrCanceled / ErrDeadline)
+// within one iterator batch (cancelBatch pulls) instead of running the
+// scan to completion. A Background (uncancellable) context pays zero
+// per-tuple checks, keeping the cached fast path inside its overhead
+// budget.
+func RunContext(ctx context.Context, src string, env hql.Env) (hql.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return hql.Result{}, hrdmerr.FromContext(err)
+	}
 	sp := obs.Begin()
 	srcKey := srcCacheKey(src)
 	if p, ok := planCache.lookup(srcKey, env, false); ok {
-		if snap, pinned := pinPlan(p); pinned {
+		if snap, pinned := pinPlan(ctx, p); pinned {
 			planCache.countHit()
 			// One mark covers lookup + pin: splitting them would buy a
 			// clock read for a sub-microsecond distinction.
@@ -81,11 +96,11 @@ func Run(src string, env hql.Env) (hql.Result, error) {
 		finishQuery(&sp, srcKey, nil, nil, err)
 		return hql.Result{}, err
 	}
-	res, handled, err := planAndRun(e, env, srcKey, &sp)
+	res, handled, err := planAndRun(ctx, e, env, srcKey, &sp)
 	if handled || err != nil {
 		return res, err
 	}
-	res, err = hql.EvalNaive(e, env)
+	res, err = hql.EvalNaiveContext(ctx, e, env)
 	sp.Mark(obs.StageExecute)
 	finishQuery(&sp, srcKey, nil, nil, err)
 	return res, err
@@ -94,12 +109,21 @@ func Run(src string, env hql.Env) (hql.Result, error) {
 // Eval plans and executes a parsed expression, with plan caching,
 // snapshot pinning and naive fallback.
 func Eval(e hql.Expr, env hql.Env) (hql.Result, error) {
+	return EvalContext(context.Background(), e, env)
+}
+
+// EvalContext is Eval under a context (see RunContext for the
+// cancellation contract).
+func EvalContext(ctx context.Context, e hql.Expr, env hql.Env) (hql.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return hql.Result{}, hrdmerr.FromContext(err)
+	}
 	sp := obs.Begin()
-	res, handled, err := planAndRun(e, env, "", &sp)
+	res, handled, err := planAndRun(ctx, e, env, "", &sp)
 	if handled || err != nil {
 		return res, err
 	}
-	res, err = hql.EvalNaive(e, env)
+	res, err = hql.EvalNaiveContext(ctx, e, env)
 	sp.Mark(obs.StageExecute)
 	finishQuery(&sp, astCacheKey(e), nil, nil, err)
 	return res, err
@@ -119,12 +143,12 @@ func Eval(e hql.Expr, env hql.Env) (hql.Result, error) {
 // back to the naive evaluator. When it handles the query it also
 // finishes the span (metrics + slow log); on fallback the caller owns
 // the span's ending, timing whatever evaluator it runs instead.
-func planAndRun(e hql.Expr, env hql.Env, srcKey string, sp *obs.Span) (hql.Result, bool, error) {
+func planAndRun(ctx context.Context, e hql.Expr, env hql.Env, srcKey string, sp *obs.Span) (hql.Result, bool, error) {
 	key := astCacheKey(e)
 	for try := 0; try < pinRetries; try++ {
 		if p, ok := planCache.lookup(key, env, try == 0); ok {
 			sp.Mark(obs.StagePlan)
-			if snap, pinned := pinPlan(p); pinned {
+			if snap, pinned := pinPlan(ctx, p); pinned {
 				sp.Mark(obs.StagePin)
 				planCache.addKey(p, srcKey)
 				res, err := p.run(snap, sp)
@@ -141,7 +165,7 @@ func planAndRun(e hql.Expr, env hql.Env, srcKey string, sp *obs.Span) (hql.Resul
 			mNaiveFallback.Inc()
 			return hql.Result{}, false, nil
 		}
-		if snap, pinned := pinPlan(p); pinned {
+		if snap, pinned := pinPlan(ctx, p); pinned {
 			sp.Mark(obs.StagePin)
 			planCache.store([]string{srcKey, key}, p)
 			res, err := p.run(snap, sp)
@@ -154,7 +178,7 @@ func planAndRun(e hql.Expr, env hql.Env, srcKey string, sp *obs.Span) (hql.Resul
 	// A continuous writer kept publishing between plan and pin; compile
 	// and pin in one critical section, which cannot fail.
 	mPinExclusive.Inc()
-	p, snap, err := pinPlanExclusive(func() (*Plan, error) { return PlanQuery(e, env) })
+	p, snap, err := pinPlanExclusive(ctx, func() (*Plan, error) { return PlanQuery(e, env) })
 	sp.Mark(obs.StagePin)
 	if err != nil {
 		mNaiveFallback.Inc()

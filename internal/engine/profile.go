@@ -40,8 +40,11 @@ func (pf *profiler) stats(n node) *opStats {
 // and row counting. Wall time accumulates (+=) across pulls; a parent
 // that streams its child therefore observes a wall time that includes
 // every child pull, which is what makes self time (wall − Σ child
-// wall) well defined at render time.
+// wall) well defined at render time. Every node's iterator also passes
+// through cancelIter here, so cancellation is checked at iterator
+// batch boundaries on profiled and unprofiled executions alike.
 func (s *Snapshot) profIter(n node, it iterator) iterator {
+	it = s.cancelIter(it)
 	if s == nil || s.prof == nil {
 		return it
 	}
@@ -63,6 +66,9 @@ func (s *Snapshot) profIter(n node, it iterator) iterator {
 // also ran inside f (exec via materialize), the assignment supersedes
 // the partial per-pull accumulation instead of double counting it.
 func (s *Snapshot) profExec(n node, f func() (*core.Relation, error)) (*core.Relation, error) {
+	if err := s.checkCancel(); err != nil {
+		return nil, err
+	}
 	if s == nil || s.prof == nil {
 		return f()
 	}

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/hrdmerr"
 )
 
 // Snapshot is the consistent database state one query executes
@@ -32,6 +34,53 @@ type Snapshot struct {
 	// ANALYZE; normal execution leaves it nil and pays one nil check
 	// per operator.
 	prof *profiler
+	// ctx, when non-nil, is the query's cancellation context: iterator
+	// pulls check it every cancelBatch pulls (see cancelIter) and exec
+	// boundaries check it once per operator, so a canceled or
+	// deadline-expired query aborts within one iterator batch instead
+	// of running its scan to completion. It is nil for uncancellable
+	// queries (context.Background callers), which then pay zero checks.
+	ctx   context.Context
+	pulls int
+}
+
+// cancelBatch is the iterator cancellation granularity: the number of
+// pulls (summed across the plan's operators) between context checks.
+// Small enough that a canceled scan stops within a few hundred tuple
+// touches, large enough that the per-pull cost is one increment and a
+// mask test.
+const cancelBatch = 256
+
+// cancelIter wraps an operator's streaming iterator with the batch-
+// boundary cancellation check. The pull counter lives on the snapshot
+// — one query, one counter — so stacked operators share the budget and
+// the check fires every cancelBatch tuple movements through the whole
+// plan, wherever they happen.
+func (s *Snapshot) cancelIter(it iterator) iterator {
+	if s == nil || s.ctx == nil {
+		return it
+	}
+	return func() (*core.Tuple, error) {
+		s.pulls++
+		if s.pulls%cancelBatch == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return nil, hrdmerr.FromContext(err)
+			}
+		}
+		return it()
+	}
+}
+
+// checkCancel is the exec-boundary check: one ctx read per operator
+// materialization, nil when the query is uncancellable.
+func (s *Snapshot) checkCancel() error {
+	if s == nil || s.ctx == nil {
+		return nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return hrdmerr.FromContext(err)
+	}
+	return nil
 }
 
 // pinPlan captures a snapshot of p's dependency relations and reports
@@ -40,13 +89,25 @@ type Snapshot struct {
 // planning (or the cache's validity fence) and the pin, so the
 // plan-time constants — index candidate sets, WHEN sub-query
 // lifespans — may not describe the pinned state; the caller replans.
-func pinPlan(p *Plan) (*Snapshot, bool) {
+func pinPlan(ctx context.Context, p *Plan) (*Snapshot, bool) {
 	rels := make([]*core.Relation, len(p.deps))
 	for i, d := range p.deps {
 		rels[i] = d.rel
 	}
 	epoch, vers := core.Pin(rels...)
-	return newSnapshot(p, epoch, vers)
+	s, ok := newSnapshot(p, epoch, vers)
+	s.attachCtx(ctx)
+	return s, ok
+}
+
+// attachCtx arms the snapshot's cancellation checks. A context that
+// can never be canceled (Background and friends report a nil Done
+// channel) is dropped, so uncancellable queries keep the zero-check
+// fast path.
+func (s *Snapshot) attachCtx(ctx context.Context) {
+	if ctx != nil && ctx.Done() != nil {
+		s.ctx = ctx
+	}
 }
 
 // pinPlanExclusive compiles a plan while publications are excluded and
@@ -55,7 +116,7 @@ func pinPlan(p *Plan) (*Snapshot, bool) {
 // keeps colliding with a continuous writer. Planning under the
 // exclusive lock is deadlock-free because blocked writers hold no
 // relation locks (they acquire the publish lock first).
-func pinPlanExclusive(compile func() (*Plan, error)) (*Plan, *Snapshot, error) {
+func pinPlanExclusive(ctx context.Context, compile func() (*Plan, error)) (*Plan, *Snapshot, error) {
 	var p *Plan
 	epoch, vers, err := core.PinAtomic(func() ([]*core.Relation, error) {
 		var cerr error
@@ -77,6 +138,7 @@ func pinPlanExclusive(compile func() (*Plan, error)) (*Plan, *Snapshot, error) {
 		// Cannot happen: versions were read and pinned under one lock.
 		return nil, nil, fmt.Errorf("engine: snapshot raced planning under the publish lock")
 	}
+	snap.attachCtx(ctx)
 	return p, snap, nil
 }
 

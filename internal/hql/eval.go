@@ -1,10 +1,12 @@
 package hql
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chronon"
 	"repro/internal/core"
+	"repro/internal/hrdmerr"
 	"repro/internal/lifespan"
 	"repro/internal/rel"
 	"repro/internal/value"
@@ -40,13 +42,22 @@ func (r Result) String() string {
 	return "<empty result>"
 }
 
-// Run parses and evaluates a query against env.
+// Run parses and evaluates a query against env with a background
+// context; RunContext is the primary entry point.
 func Run(src string, env Env) (Result, error) {
+	return RunContext(context.Background(), src, env)
+}
+
+// RunContext parses and evaluates a query against env. The context
+// governs evaluation: cancellation or an expired deadline aborts the
+// walk (and any installed planner's execution) with a typed
+// hrdmerr.ErrCanceled / ErrDeadline error.
+func RunContext(ctx context.Context, src string, env Env) (Result, error) {
 	e, err := Parse(src)
 	if err != nil {
 		return Result{}, err
 	}
-	return Eval(e, env)
+	return EvalContext(ctx, e, env)
 }
 
 // Planner is an optional physical-plan hook. When installed (by
@@ -54,8 +65,10 @@ func Run(src string, env Env) (Result, error) {
 // planner), Eval routes expressions through it; the hook reports
 // handled=false to fall back to the naive tree-walking evaluator. The
 // hook must not call Eval on the same expression, or evaluation would
-// recurse; it composes with EvalNaive instead.
-type Planner func(e Expr, env Env) (res Result, handled bool, err error)
+// recurse; it composes with EvalNaive instead. The context carries the
+// query's cancellation and deadline; hooks honor it at iterator batch
+// boundaries.
+type Planner func(ctx context.Context, e Expr, env Env) (res Result, handled bool, err error)
 
 // planner is set once at init time (engine's package init) and read on
 // every Eval; no locking is needed because installation happens before
@@ -66,15 +79,21 @@ var planner Planner
 // the naive evaluator.
 func SetPlanner(p Planner) { planner = p }
 
-// Eval evaluates a parsed expression, routing through the installed
-// physical planner when one is registered.
+// Eval evaluates a parsed expression with a background context;
+// EvalContext is the primary entry point.
 func Eval(e Expr, env Env) (Result, error) {
+	return EvalContext(context.Background(), e, env)
+}
+
+// EvalContext evaluates a parsed expression, routing through the
+// installed physical planner when one is registered.
+func EvalContext(ctx context.Context, e Expr, env Env) (Result, error) {
 	if planner != nil {
-		if res, handled, err := planner(e, env); handled || err != nil {
+		if res, handled, err := planner(ctx, e, env); handled || err != nil {
 			return res, err
 		}
 	}
-	return EvalNaive(e, env)
+	return EvalNaiveContext(ctx, e, env)
 }
 
 // EvalNaive evaluates a parsed expression with the direct tree-walking
@@ -89,26 +108,37 @@ func Eval(e Expr, env Env) (Result, error) {
 // racing a writer therefore reads one consistent database state on the
 // naive path exactly as it does on the planned path.
 func EvalNaive(e Expr, env Env) (Result, error) {
+	return EvalNaiveContext(context.Background(), e, env)
+}
+
+// EvalNaiveContext is EvalNaive under a context: the walk checks for
+// cancellation at every operator node, so a canceled or deadline-
+// expired query aborts between operators with a typed error. Errors
+// leaving the naive evaluator are classified — semantic failures
+// (unknown relation, sort mismatch) match hrdmerr.ErrSemantic,
+// cancellation matches ErrCanceled/ErrDeadline.
+func EvalNaiveContext(ctx context.Context, e Expr, env Env) (Result, error) {
 	env, err := pinExprEnv(e, env)
 	if err != nil {
-		return Result{}, err
+		return Result{}, hrdmerr.Wrap(hrdmerr.CodeSemantic, err)
 	}
-	return evalNaivePinned(e, env)
+	res, err := evalNaivePinned(ctx, e, env)
+	return res, hrdmerr.Wrap(hrdmerr.CodeSemantic, err)
 }
 
 // evalNaivePinned is the tree walk itself, over an environment whose
 // relations are already one consistent cut.
-func evalNaivePinned(e Expr, env Env) (Result, error) {
+func evalNaivePinned(ctx context.Context, e Expr, env Env) (Result, error) {
 	switch n := e.(type) {
 	case *WhenExpr:
-		r, err := evalRel(n.Source, env)
+		r, err := evalRel(ctx, n.Source, env)
 		if err != nil {
 			return Result{}, err
 		}
 		ls := core.When(r)
 		return Result{Lifespan: &ls}, nil
 	case *SnapshotExpr:
-		r, err := evalRel(n.Source, env)
+		r, err := evalRel(ctx, n.Source, env)
 		if err != nil {
 			return Result{}, err
 		}
@@ -118,7 +148,7 @@ func evalNaivePinned(e Expr, env Env) (Result, error) {
 		}
 		return Result{Snapshot: snap}, nil
 	default:
-		r, err := evalRel(e, env)
+		r, err := evalRel(ctx, e, env)
 		if err != nil {
 			return Result{}, err
 		}
@@ -126,8 +156,15 @@ func evalNaivePinned(e Expr, env Env) (Result, error) {
 	}
 }
 
-// evalRel evaluates a relation-valued expression.
-func evalRel(e Expr, env Env) (*core.Relation, error) {
+// evalRel evaluates a relation-valued expression. The cancellation
+// check at entry runs once per operator node: each operator is a full
+// scan in the naive evaluator, so per-node is the natural abort
+// granularity here (the engine's plans abort finer, at iterator batch
+// boundaries).
+func evalRel(ctx context.Context, e Expr, env Env) (*core.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, hrdmerr.FromContext(err)
+	}
 	switch n := e.(type) {
 	case *RelName:
 		r, ok := env.Get(n.Name)
@@ -136,13 +173,13 @@ func evalRel(e Expr, env Env) (*core.Relation, error) {
 		}
 		return r, nil
 	case *SelectExpr:
-		src, err := evalRel(n.Source, env)
+		src, err := evalRel(ctx, n.Source, env)
 		if err != nil {
 			return nil, err
 		}
 		L := lifespan.All()
 		if n.During != nil {
-			L, err = evalLS(n.During, env)
+			L, err = evalLS(ctx, n.During, env)
 			if err != nil {
 				return nil, err
 			}
@@ -160,42 +197,42 @@ func evalRel(e Expr, env Env) (*core.Relation, error) {
 		}
 		return core.SelectIfCond(src, cond, q, L)
 	case *ProjectExpr:
-		src, err := evalRel(n.Source, env)
+		src, err := evalRel(ctx, n.Source, env)
 		if err != nil {
 			return nil, err
 		}
 		return core.Project(src, n.Attrs...)
 	case *TimesliceExpr:
-		src, err := evalRel(n.Source, env)
+		src, err := evalRel(ctx, n.Source, env)
 		if err != nil {
 			return nil, err
 		}
 		if n.By != "" {
 			return core.TimesliceDynamic(src, n.By)
 		}
-		L, err := evalLS(n.At, env)
+		L, err := evalLS(ctx, n.At, env)
 		if err != nil {
 			return nil, err
 		}
 		return core.TimesliceStatic(src, L)
 	case *RenameExpr:
-		src, err := evalRel(n.Source, env)
+		src, err := evalRel(ctx, n.Source, env)
 		if err != nil {
 			return nil, err
 		}
 		return src.Rename(n.Prefix)
 	case *MaterializeExpr:
-		src, err := evalRel(n.Source, env)
+		src, err := evalRel(ctx, n.Source, env)
 		if err != nil {
 			return nil, err
 		}
 		return core.Materialize(src)
 	case *BinaryExpr:
-		left, err := evalRel(n.Left, env)
+		left, err := evalRel(ctx, n.Left, env)
 		if err != nil {
 			return nil, err
 		}
-		right, err := evalRel(n.Right, env)
+		right, err := evalRel(ctx, n.Right, env)
 		if err != nil {
 			return nil, err
 		}
@@ -263,22 +300,22 @@ func buildCond(c CondExpr) (core.Condition, error) {
 }
 
 // evalLS evaluates a lifespan-valued expression.
-func evalLS(e *LSExpr, env Env) (lifespan.Lifespan, error) {
+func evalLS(ctx context.Context, e *LSExpr, env Env) (lifespan.Lifespan, error) {
 	switch {
 	case e.Literal != "":
 		return lifespan.Parse(e.Literal)
 	case e.When != nil:
-		r, err := evalRel(e.When, env)
+		r, err := evalRel(ctx, e.When, env)
 		if err != nil {
 			return lifespan.Lifespan{}, err
 		}
 		return core.When(r), nil
 	default:
-		l, err := evalLS(e.Left, env)
+		l, err := evalLS(ctx, e.Left, env)
 		if err != nil {
 			return lifespan.Lifespan{}, err
 		}
-		r, err := evalLS(e.Right, env)
+		r, err := evalLS(ctx, e.Right, env)
 		if err != nil {
 			return lifespan.Lifespan{}, err
 		}

@@ -1,6 +1,8 @@
 package hql
 
 import (
+	"context"
+
 	"repro/internal/lifespan"
 )
 
@@ -106,10 +108,16 @@ func rewrite(e Expr, n *int) Expr {
 
 // RunOptimized parses, optimizes, and evaluates a query.
 func RunOptimized(src string, env Env) (Result, error) {
+	return RunOptimizedContext(context.Background(), src, env)
+}
+
+// RunOptimizedContext parses, optimizes, and evaluates a query under a
+// context (see RunContext for the cancellation contract).
+func RunOptimizedContext(ctx context.Context, src string, env Env) (Result, error) {
 	e, err := Parse(src)
 	if err != nil {
 		return Result{}, err
 	}
 	e, _ = Optimize(e)
-	return Eval(e, env)
+	return EvalContext(ctx, e, env)
 }

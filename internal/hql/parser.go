@@ -4,12 +4,23 @@ import (
 	"fmt"
 	"strconv"
 
+	"repro/internal/hrdmerr"
 	"repro/internal/value"
 )
 
 // Parse parses a complete query. Binary operators are left-associative
-// and equal-precedence; parenthesize to group.
+// and equal-precedence; parenthesize to group. Lex and parse failures
+// are classified as hrdmerr.ErrParse, so callers (and the wire
+// protocol) can branch on the class without matching message text.
 func Parse(src string) (Expr, error) {
+	e, err := parse(src)
+	if err != nil {
+		return nil, hrdmerr.Wrap(hrdmerr.CodeParse, err)
+	}
+	return e, nil
+}
+
+func parse(src string) (Expr, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err

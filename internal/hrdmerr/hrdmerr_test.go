@@ -1,0 +1,149 @@
+package hrdmerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestWireCodesStable pins the numeric wire codes: these numbers are
+// the protocol contract (docs/SERVER.md) and must never be renumbered.
+// Appending new codes is fine; moving an existing one is a breaking
+// wire change this test exists to catch.
+func TestWireCodesStable(t *testing.T) {
+	want := map[Code]int{
+		CodeInternal:    1,
+		CodeParse:       2,
+		CodePlan:        3,
+		CodeSemantic:    4,
+		CodeConflict:    5,
+		CodeState:       6,
+		CodeOverloaded:  7,
+		CodeDeadline:    8,
+		CodeCanceled:    9,
+		CodeUnavailable: 10,
+		CodeBadRequest:  11,
+	}
+	for c, n := range want {
+		if int(c) != n {
+			t.Errorf("code %s = %d, want %d (wire codes are frozen)", c, int(c), n)
+		}
+	}
+}
+
+func TestSentinelMatching(t *testing.T) {
+	cases := []struct {
+		err      error
+		sentinel *Error
+	}{
+		{New(CodeParse, "unexpected token %q", "FORM"), ErrParse},
+		{Wrap(CodeSemantic, fmt.Errorf("hql: unknown relation %q", "EMPX")), ErrSemantic},
+		{Wrap(CodeConflict, errors.New("duplicate key")), ErrConflict},
+		{fmt.Errorf("outer: %w", New(CodeOverloaded, "too many in-flight queries")), ErrOverloaded},
+		{fmt.Errorf("a: %w", fmt.Errorf("b: %w", New(CodeDeadline, "deadline"))), ErrDeadline},
+	}
+	all := []*Error{ErrInternal, ErrParse, ErrPlan, ErrSemantic, ErrConflict,
+		ErrState, ErrOverloaded, ErrDeadline, ErrCanceled, ErrUnavailable, ErrBadRequest}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("errors.Is(%v, %v) = false, want true", c.err, c.sentinel)
+		}
+		for _, other := range all {
+			if other != c.sentinel && errors.Is(c.err, other) {
+				t.Errorf("errors.Is(%v, %v) = true, want false", c.err, other)
+			}
+		}
+	}
+}
+
+func TestWrapSemantics(t *testing.T) {
+	if Wrap(CodeParse, nil) != nil {
+		t.Error("Wrap(nil) must be nil")
+	}
+	// Earliest classification wins: re-wrapping cannot re-classify.
+	inner := New(CodeConflict, "duplicate key k1")
+	rewrapped := Wrap(CodeInternal, fmt.Errorf("commit: %w", inner))
+	if !errors.Is(rewrapped, ErrConflict) || errors.Is(rewrapped, ErrInternal) {
+		t.Errorf("re-wrap re-classified: %v (code %v)", rewrapped, CodeOf(rewrapped))
+	}
+	// Context errors classify as deadline/canceled whatever code the
+	// wrapping site asked for.
+	if got := CodeOf(Wrap(CodeSemantic, fmt.Errorf("scan: %w", context.DeadlineExceeded))); got != CodeDeadline {
+		t.Errorf("wrapped DeadlineExceeded classified %v, want CodeDeadline", got)
+	}
+	if got := CodeOf(Wrap(CodeSemantic, context.Canceled)); got != CodeCanceled {
+		t.Errorf("wrapped Canceled classified %v, want CodeCanceled", got)
+	}
+	// The cause stays reachable.
+	sentinel := errors.New("root cause")
+	if !errors.Is(Wrap(CodeInternal, fmt.Errorf("x: %w", sentinel)), sentinel) {
+		t.Error("Wrap hides the cause from errors.Is")
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Error("FromContext(nil) must be nil")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !errors.Is(FromContext(ctx.Err()), ErrCanceled) {
+		t.Error("canceled context did not classify as ErrCanceled")
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	<-dctx.Done()
+	if !errors.Is(FromContext(dctx.Err()), ErrDeadline) {
+		t.Error("expired context did not classify as ErrDeadline")
+	}
+}
+
+// TestCodeNamesAndAccessor pins each code's rendered class name (the
+// prefix of Error() and the CLI's error output) and the Code accessor.
+func TestCodeNamesAndAccessor(t *testing.T) {
+	names := map[Code]string{
+		CodeInternal:    "internal",
+		CodeParse:       "parse",
+		CodePlan:        "plan",
+		CodeSemantic:    "semantic",
+		CodeConflict:    "conflict",
+		CodeState:       "state",
+		CodeOverloaded:  "overloaded",
+		CodeDeadline:    "deadline",
+		CodeCanceled:    "canceled",
+		CodeUnavailable: "unavailable",
+		CodeBadRequest:  "bad_request",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Code(%d).String() = %q, want %q", int(c), c.String(), want)
+		}
+		if got := New(c, "x").Code(); got != c {
+			t.Errorf("New(%v).Code() = %v", c, got)
+		}
+	}
+	if got := Code(99).String(); got != "code(99)" {
+		t.Errorf("unknown code renders %q, want code(99)", got)
+	}
+}
+
+func TestCodeOfAndMessage(t *testing.T) {
+	if CodeOf(nil) != 0 {
+		t.Error("CodeOf(nil) must be 0")
+	}
+	if CodeOf(errors.New("plain")) != CodeInternal {
+		t.Error("unclassified errors must report CodeInternal")
+	}
+	err := New(CodeParse, "unexpected token")
+	if Message(err) != "unexpected token" {
+		t.Errorf("Message = %q, want the raw message without the class prefix", Message(err))
+	}
+	if err.Error() != "parse: unexpected token" {
+		t.Errorf("Error() = %q", err.Error())
+	}
+	if Message(errors.New("plain")) != "plain" {
+		t.Error("Message of unclassified error must be its Error()")
+	}
+}

@@ -11,6 +11,7 @@ func All() []*Analyzer {
 		Spanonce,
 		Rawkeyjoin,
 		Metricname,
+		Sessionapi,
 	}
 }
 
@@ -23,6 +24,7 @@ var knownAnalyzers = map[string]bool{
 	Spanonce.Name:      true,
 	Rawkeyjoin.Name:    true,
 	Metricname.Name:    true,
+	Sessionapi.Name:    true,
 }
 
 // ByName resolves one analyzer, for the driver's -run flag.

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+const (
+	hqlPkg    = "repro/internal/hql"
+	enginePkg = "repro/internal/engine"
+)
+
+// sessionBypass lists, per package, the query entry points that bypass
+// the Session API: package-level functions that take a bare hql.Env
+// (in practice a *storage.Store) and execute a query against it.
+// Commands are supposed to open an engine.DB once and route every
+// query through a Session — which owns the optimizer toggle, threads a
+// context, and returns classified errors — so these stay legal inside
+// the engine itself but not in cmd/.
+var sessionBypass = map[string]map[string]bool{
+	hqlPkg: {
+		"Run": true, "RunContext": true,
+		"RunOptimized": true, "RunOptimizedContext": true,
+		"Eval": true, "EvalContext": true,
+		"EvalNaive": true, "EvalNaiveContext": true,
+	},
+	enginePkg: {
+		"Run": true, "RunContext": true,
+		"Eval": true, "EvalContext": true,
+		"Explain":        true,
+		"ExplainAnalyze": true, "ExplainAnalyzeContext": true,
+	},
+}
+
+// Sessionapi keeps commands on the Session API: code under cmd/ must
+// not call the env-taking query entry points of hql or engine directly.
+// A command that pokes a store into hql.Run sidesteps the session's
+// optimizer setting, context threading and error classification, and
+// regresses the cmd/ layer to the pre-server implicit-global idiom.
+// Deliberate exceptions (a benchmark measuring the naive evaluator as
+// its baseline) carry a //lint:allow sessionapi annotation.
+var Sessionapi = &Analyzer{
+	Name:  "sessionapi",
+	Doc:   "cmd/ runs queries through engine.Session, not the env-taking hql/engine entry points",
+	Scope: []string{"repro/cmd"},
+	Run: func(pass *Pass) error {
+		info := pass.Info()
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if names := sessionBypass[fn.Pkg().Path()]; names[fn.Name()] && isPkgFunc(fn, fn.Pkg().Path(), fn.Name()) {
+					pass.Reportf(call.Pos(),
+						"%s.%s bypasses the Session API; open an engine.DB and call the Session method instead (see docs/SERVER.md)",
+						fn.Pkg().Name(), fn.Name())
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}

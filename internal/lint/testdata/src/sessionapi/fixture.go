@@ -1,0 +1,46 @@
+// Fixture for the sessionapi analyzer: commands must run queries
+// through an engine.Session, not the env-taking entry points of hql or
+// engine. The fixture is type-checked, never executed.
+package sessionapi
+
+import (
+	"context"
+
+	"repro/internal/engine"
+	"repro/internal/hql"
+	"repro/internal/storage"
+)
+
+func bypasses(st *storage.Store) {
+	hql.Run("EMP", st)                                  // want `hql\.Run bypasses the Session API`
+	hql.RunOptimized("EMP", st)                         // want `hql\.RunOptimized bypasses the Session API`
+	hql.RunContext(context.Background(), "EMP", st)     // want `hql\.RunContext bypasses the Session API`
+	engine.Run("EMP", st)                               // want `engine\.Run bypasses the Session API`
+	engine.Eval(nil, st)                                // want `engine\.Eval bypasses the Session API`
+	engine.Explain("EMP", st, true)                     // want `engine\.Explain bypasses the Session API`
+	engine.ExplainAnalyzeContext(nil, "EMP", st, false) // want `engine\.ExplainAnalyzeContext bypasses the Session API`
+	if e, err := hql.Parse("EMP"); err == nil {
+		hql.EvalNaive(e, st) // want `hql\.EvalNaive bypasses the Session API`
+	}
+}
+
+func throughSession(st *storage.Store) {
+	db := engine.OpenDB(st)
+	sess := db.NewSession()
+	ctx := context.Background()
+	sess.Query(ctx, "EMP")
+	sess.Explain("EMP")
+	sess.ExplainAnalyze(ctx, "EMP")
+	if e, err := hql.Parse("EMP"); err == nil {
+		sess.Eval(ctx, e)
+	}
+}
+
+func annotatedBaseline(st *storage.Store) {
+	e, err := hql.Parse("EMP")
+	if err != nil {
+		return
+	}
+	//lint:allow sessionapi fixture exercises the naive-baseline escape hatch
+	hql.EvalNaive(e, st)
+}

@@ -1,0 +1,423 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/hrdmerr"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// startServer builds a demo-store server with cfg, starts it, and
+// registers a best-effort shutdown for test exit.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv := New(engine.OpenDB(workload.Demo()), cfg)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// tclient is a minimal protocol client: one request line out, one
+// response line back.
+type tclient struct {
+	c net.Conn
+	r *bufio.Reader
+}
+
+func dialT(t *testing.T, addr string) *tclient {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &tclient{c: c, r: bufio.NewReaderSize(c, 1<<20)}
+}
+
+func (tc *tclient) send(t *testing.T, req request) {
+	t.Helper()
+	buf, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.c.Write(append(buf, '\n')); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func (tc *tclient) recv(t *testing.T) response {
+	t.Helper()
+	tc.c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := tc.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	var resp response
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatalf("unmarshal %q: %v", line, err)
+	}
+	return resp
+}
+
+func (tc *tclient) do(t *testing.T, req request) response {
+	t.Helper()
+	tc.send(t, req)
+	return tc.recv(t)
+}
+
+// TestServerProtocol drives every op over one connection: ping, query,
+// explain, the session optimizer toggle, the write-group lifecycle
+// (staged tuples visible after commit), metrics, and the typed error
+// envelope for parse failures, bad requests and state violations.
+func TestServerProtocol(t *testing.T) {
+	srv := startServer(t, Config{})
+	tc := dialT(t, srv.Addr())
+
+	if resp := tc.do(t, request{Op: "ping"}); !resp.OK || resp.Result != "pong" {
+		t.Fatalf("ping = %+v", resp)
+	}
+	resp := tc.do(t, request{Op: "query", Q: `SELECT WHEN NAME = 'John' FROM EMP`})
+	if !resp.OK || resp.Rows != 1 || !strings.Contains(resp.Result, "John") {
+		t.Fatalf("query = %+v", resp)
+	}
+	if resp := tc.do(t, request{Op: "explain", Q: `SELECT WHEN NAME = 'John' FROM EMP`}); !resp.OK || !strings.Contains(resp.Text, "plan-cache") {
+		t.Fatalf("explain = %+v", resp)
+	}
+	if resp := tc.do(t, request{Op: "explain", Q: `EMP`, Analyze: true}); !resp.OK || !strings.Contains(resp.Text, "actual") {
+		t.Fatalf("explain analyze = %+v", resp)
+	}
+	on := true
+	if resp := tc.do(t, request{Op: "set", Optimize: &on}); !resp.OK || resp.Result != "optimize=true" {
+		t.Fatalf("set = %+v", resp)
+	}
+
+	// Write-group lifecycle: begin → stage → commit → visible.
+	if resp := tc.do(t, request{Op: "begin_group"}); !resp.OK {
+		t.Fatalf("begin_group = %+v", resp)
+	}
+	resp = tc.do(t, request{Op: "stage", Rel: "EMP",
+		Tuple: `tuple {[20,29]}; NAME = "Zoe" @ {[20,29]}; SAL = 50000 @ {[20,29]}; DEPT = "Books" @ {[20,29]}`})
+	if !resp.OK || resp.Staged != 1 {
+		t.Fatalf("stage = %+v", resp)
+	}
+	if resp := tc.do(t, request{Op: "commit"}); !resp.OK || resp.Committed != 1 {
+		t.Fatalf("commit = %+v", resp)
+	}
+	if resp := tc.do(t, request{Op: "query", Q: `SELECT WHEN NAME = 'Zoe' FROM EMP`}); !resp.OK || resp.Rows != 1 {
+		t.Fatalf("query committed tuple = %+v", resp)
+	}
+
+	if resp := tc.do(t, request{Op: "metrics"}); !resp.OK || !strings.Contains(string(resp.Metrics), "engine.queries") {
+		t.Fatalf("metrics = %+v", resp)
+	}
+
+	// Error envelope: stable codes per class.
+	cases := []struct {
+		req  request
+		code hrdmerr.Code
+	}{
+		{request{Op: "query", Q: `SELECT !! garbage`}, hrdmerr.CodeParse},
+		{request{Op: "nope"}, hrdmerr.CodeBadRequest},
+		{request{Op: "commit"}, hrdmerr.CodeState},
+		{request{Op: "stage", Rel: "EMP", Tuple: "x"}, hrdmerr.CodeState},
+	}
+	for _, c := range cases {
+		resp := tc.do(t, c.req)
+		if resp.OK || resp.Error == nil || resp.Error.Code != int(c.code) {
+			t.Fatalf("op %s: resp = %+v, want error code %d", c.req.Op, resp, c.code)
+		}
+		if resp.Error.Class != c.code.String() {
+			t.Fatalf("op %s: class = %q, want %q", c.req.Op, resp.Error.Class, c.code)
+		}
+	}
+
+	// Malformed JSON keeps the connection alive with a bad_request.
+	if _, err := tc.c.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	if resp := tc.recv(t); resp.OK || resp.Error == nil || resp.Error.Code != int(hrdmerr.CodeBadRequest) {
+		t.Fatalf("malformed line = %+v", resp)
+	}
+	if resp := tc.do(t, request{Op: "ping"}); !resp.OK {
+		t.Fatalf("connection dead after malformed line: %+v", resp)
+	}
+}
+
+// TestAdmissionInflight: with one inflight slot held, the next query is
+// rejected immediately with the typed overloaded error — and succeeds
+// once the slot frees.
+func TestAdmissionInflight(t *testing.T) {
+	srv := startServer(t, Config{MaxInflight: 1})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv.testHold = func(ctx context.Context, op string) {
+		entered <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+
+	blocked := dialT(t, srv.Addr())
+	blocked.send(t, request{Op: "query", Q: `EMP`})
+	<-entered
+
+	fast := dialT(t, srv.Addr())
+	resp := fast.do(t, request{Op: "query", Q: `EMP`})
+	if resp.OK || resp.Error == nil || resp.Error.Code != int(hrdmerr.CodeOverloaded) {
+		t.Fatalf("over-limit query = %+v, want overloaded (code %d)", resp, hrdmerr.CodeOverloaded)
+	}
+
+	close(release)
+	if resp := blocked.recv(t); !resp.OK {
+		t.Fatalf("held query after release = %+v", resp)
+	}
+	if resp := fast.do(t, request{Op: "query", Q: `EMP`}); !resp.OK {
+		t.Fatalf("query after slot freed = %+v", resp)
+	}
+}
+
+// TestAdmissionMaxConns: a connection past the limit is answered with
+// one typed overloaded line and closed, not left hanging.
+func TestAdmissionMaxConns(t *testing.T) {
+	srv := startServer(t, Config{MaxConns: 1})
+	keeper := dialT(t, srv.Addr())
+	if resp := keeper.do(t, request{Op: "ping"}); !resp.OK {
+		t.Fatalf("first conn ping = %+v", resp)
+	}
+	over := dialT(t, srv.Addr())
+	resp := over.recv(t)
+	if resp.OK || resp.Error == nil || resp.Error.Code != int(hrdmerr.CodeOverloaded) {
+		t.Fatalf("over-limit conn = %+v, want overloaded", resp)
+	}
+	if _, err := over.r.ReadByte(); err == nil {
+		t.Fatal("rejected connection was not closed")
+	}
+	// The admitted connection is unaffected.
+	if resp := keeper.do(t, request{Op: "ping"}); !resp.OK {
+		t.Fatalf("keeper ping after rejection = %+v", resp)
+	}
+}
+
+// TestQueryDeadline: a query that outlives the per-query deadline
+// aborts with the typed deadline error instead of hanging the
+// connection.
+func TestQueryDeadline(t *testing.T) {
+	srv := startServer(t, Config{QueryDeadline: 50 * time.Millisecond})
+	srv.testHold = func(ctx context.Context, op string) { <-ctx.Done() }
+	tc := dialT(t, srv.Addr())
+	resp := tc.do(t, request{Op: "query", Q: `EMP`})
+	if resp.OK || resp.Error == nil || resp.Error.Code != int(hrdmerr.CodeDeadline) {
+		t.Fatalf("deadline query = %+v, want deadline (code %d)", resp, hrdmerr.CodeDeadline)
+	}
+}
+
+// TestGracefulDrain: Shutdown lets an in-flight query finish and its
+// client read the response, wakes idle connections, and stops
+// accepting — all within the grace.
+func TestGracefulDrain(t *testing.T) {
+	srv := startServer(t, Config{DrainTimeout: 5 * time.Second})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv.testHold = func(ctx context.Context, op string) {
+		entered <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+
+	idle := dialT(t, srv.Addr())
+	if resp := idle.do(t, request{Op: "ping"}); !resp.OK {
+		t.Fatalf("idle ping = %+v", resp)
+	}
+	busy := dialT(t, srv.Addr())
+	busy.send(t, request{Op: "query", Q: `SELECT WHEN NAME = 'John' FROM EMP`})
+	<-entered
+
+	done := make(chan error, 1)
+	go func() {
+		done <- srv.Shutdown(context.Background())
+	}()
+	// Let the drain reach its waiting phase, then release the in-flight
+	// query: the client must still receive its full response.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if resp := busy.recv(t); !resp.OK || resp.Rows != 1 {
+		t.Fatalf("in-flight query during drain = %+v", resp)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// New connections are refused after drain.
+	if c, err := net.DialTimeout("tcp", srv.Addr(), time.Second); err == nil {
+		c.Close()
+		t.Fatal("post-drain dial succeeded")
+	}
+}
+
+// TestDrainDeadlineForcesCancel: when in-flight work outlives the
+// drain grace, Shutdown cancels it via the base context (queries see a
+// typed abort) and still completes instead of hanging.
+func TestDrainDeadlineForcesCancel(t *testing.T) {
+	srv := startServer(t, Config{DrainTimeout: 100 * time.Millisecond})
+	entered := make(chan struct{}, 1)
+	var sawCancel atomic.Bool
+	srv.testHold = func(ctx context.Context, op string) {
+		entered <- struct{}{}
+		<-ctx.Done() // only a forced drain (or deadline) releases this
+		sawCancel.Store(true)
+	}
+	stuck := dialT(t, srv.Addr())
+	stuck.send(t, request{Op: "query", Q: `EMP`})
+	<-entered
+
+	start := time.Now()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("forced drain took %v", elapsed)
+	}
+	if !sawCancel.Load() {
+		t.Fatal("in-flight query was never canceled")
+	}
+}
+
+// TestConcurrentClientsConsistency is the acceptance race test: 64
+// client connections issue a query spanning two relations while a
+// writer commits cross-relation write groups through the session API.
+// Every group inserts one tuple into each relation, so any consistent
+// cut has equal cardinalities — a torn read (group half-visible)
+// surfaces as an odd UNIONMERGE count. Run under -race in CI.
+func TestConcurrentClientsConsistency(t *testing.T) {
+	const (
+		clients = 64
+		queries = 20
+		groups  = 200
+	)
+	full := lifespan.Interval(0, 999)
+	mkRel := func(name string) *core.Relation {
+		return core.NewRelation(schema.MustNew(name, []string{"ID"},
+			schema.Attribute{Name: "ID", Domain: value.Ints, Lifespan: full},
+		))
+	}
+	st := storage.NewStore()
+	a, b := mkRel("A"), mkRel("B")
+	st.Put(a)
+	st.Put(b)
+	db := engine.OpenDB(st)
+	srv := New(db, Config{MaxConns: clients + 8, MaxInflight: clients + 8})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	stop := make(chan struct{})
+	writerDone := make(chan error, 1)
+	go func() {
+		sess := db.NewSession()
+		for i := 0; i < groups; i++ {
+			select {
+			case <-stop:
+				writerDone <- nil
+				return
+			default:
+			}
+			if err := sess.BeginGroup(); err != nil {
+				writerDone <- err
+				return
+			}
+			spec := fmt.Sprintf(`tuple {[0,9]}; ID = %d @ {[0,9]}`, i)
+			if _, err := sess.Stage("A", spec); err != nil {
+				writerDone <- err
+				return
+			}
+			if _, err := sess.Stage("B", spec); err != nil {
+				writerDone <- err
+				return
+			}
+			if _, err := sess.Commit(context.Background()); err != nil {
+				writerDone <- err
+				return
+			}
+		}
+		writerDone <- nil
+	}()
+
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := net.DialTimeout("tcp", srv.Addr(), 5*time.Second)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			tc := &tclient{c: c, r: bufio.NewReaderSize(c, 1<<20)}
+			for q := 0; q < queries; q++ {
+				buf, _ := json.Marshal(request{Op: "query", Q: `A UNIONMERGE B`})
+				if _, err := c.Write(append(buf, '\n')); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				c.SetReadDeadline(time.Now().Add(30 * time.Second))
+				line, err := tc.r.ReadString('\n')
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				var resp response
+				if err := json.Unmarshal([]byte(line), &resp); err != nil {
+					t.Errorf("unmarshal: %v", err)
+					return
+				}
+				if !resp.OK {
+					t.Errorf("query failed: %+v", resp.Error)
+					return
+				}
+				if resp.Rows%2 != 0 {
+					torn.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-writerDone; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d torn reads (odd cross-relation cardinality) — snapshot isolation violated", n)
+	}
+}

@@ -1,0 +1,71 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+)
+
+// ParseTuple parses one tuple block of the text format (see ParseText)
+// against an existing scheme: a `tuple {lifespan}` header followed by
+// `ATTR = value @ {lifespan}` assignment lines. Statements may be
+// separated by newlines or semicolons, so a whole tuple fits in one
+// wire-protocol string:
+//
+//	tuple {[0,9]}; NAME = "John" @ {[0,9]}; SAL = 30000 @ {[0,9]}
+//
+// It builds the tuple without touching any relation — callers stage the
+// result into a core.WriteGroup (the server's `stage` op) or insert it
+// directly.
+func ParseTuple(sc *schema.Scheme, spec string) (*core.Tuple, error) {
+	var b *core.TupleBuilder
+	for _, raw := range strings.FieldsFunc(spec, func(r rune) bool { return r == '\n' || r == ';' }) {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := splitFields(line)
+		if fields[0] == "tuple" {
+			if b != nil {
+				return nil, fmt.Errorf("storage: tuple spec: second tuple header (one tuple per spec)")
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("storage: tuple spec: want: tuple {lifespan}")
+			}
+			ls, err := lifespan.Parse(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("storage: tuple spec: %w", err)
+			}
+			b = core.NewTupleBuilder(sc, ls)
+			continue
+		}
+		if b == nil {
+			return nil, fmt.Errorf("storage: tuple spec: assignment before the tuple header")
+		}
+		if len(fields) != 5 || fields[1] != "=" || fields[3] != "@" {
+			return nil, fmt.Errorf("storage: tuple spec: want: ATTR = value @ {lifespan}")
+		}
+		attr, ok := sc.Attr(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("storage: tuple spec: unknown attribute %s", fields[0])
+		}
+		v, err := parseValue(fields[2], attr.Domain.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("storage: tuple spec: %w", err)
+		}
+		ls, err := lifespan.Parse(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("storage: tuple spec: %w", err)
+		}
+		for _, iv := range ls.Intervals() {
+			b.Set(fields[0], iv.Lo, iv.Hi, v)
+		}
+	}
+	if b == nil {
+		return nil, fmt.Errorf("storage: tuple spec: missing tuple header")
+	}
+	return b.Build()
+}

@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chronon"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func tupleScheme() *schema.Scheme {
+	full := lifespan.Interval(0, 99)
+	return schema.MustNew("EMP", []string{"NAME"},
+		schema.Attribute{Name: "NAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "SAL", Domain: value.Ints, Lifespan: full, Interp: "step"},
+	)
+}
+
+// TestParseTuple covers the wire-facing tuple spec format the server's
+// `stage` op accepts: semicolon- and newline-separated statements,
+// comments, multi-interval lifespans fanned out across assignments.
+func TestParseTuple(t *testing.T) {
+	sc := tupleScheme()
+	tp, err := ParseTuple(sc, `tuple {[0,9]}; NAME = "John" @ {[0,9]}; SAL = 30000 @ {[0,9]}`)
+	if err != nil {
+		t.Fatalf("ParseTuple: %v", err)
+	}
+	if got := tp.Lifespan(); !got.Equal(lifespan.Interval(0, 9)) {
+		t.Fatalf("lifespan = %v, want [0,9]", got)
+	}
+	if v, ok := tp.At("SAL", chronon.Time(4)); !ok || !v.Equal(value.Int(30000)) {
+		t.Fatalf("SAL@4 = (%v, %v), want 30000", v, ok)
+	}
+
+	// Newlines and comments separate statements too, and a
+	// multi-interval assignment lifespan sets every interval.
+	tp, err = ParseTuple(sc, "# demo tuple\ntuple {[0,3],[8,9]}\nNAME = \"Ada\" @ {[0,3],[8,9]}\nSAL = 7 @ {[0,3],[8,9]}")
+	if err != nil {
+		t.Fatalf("ParseTuple (newlines): %v", err)
+	}
+	for _, at := range []chronon.Time{1, 8} {
+		if v, ok := tp.At("SAL", at); !ok || !v.Equal(value.Int(7)) {
+			t.Fatalf("SAL@%d = (%v, %v), want 7", at, v, ok)
+		}
+	}
+	if _, ok := tp.At("SAL", chronon.Time(5)); ok {
+		t.Fatal("SAL defined outside the tuple lifespan")
+	}
+}
+
+// TestParseTupleErrors walks every documented rejection path.
+func TestParseTupleErrors(t *testing.T) {
+	sc := tupleScheme()
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"empty", "", "missing tuple header"},
+		{"comment only", "# nothing here", "missing tuple header"},
+		{"second header", "tuple {[0,9]}; tuple {[0,9]}", "second tuple header"},
+		{"header arity", "tuple", "want: tuple {lifespan}"},
+		{"header lifespan", "tuple {oops}", "parse time"},
+		{"assignment first", `NAME = "x" @ {[0,9]}`, "assignment before the tuple header"},
+		{"malformed assignment", "tuple {[0,9]}; NAME IS x", "want: ATTR = value @ {lifespan}"},
+		{"unknown attribute", `tuple {[0,9]}; NOPE = 1 @ {[0,9]}`, "unknown attribute NOPE"},
+		{"bad value", `tuple {[0,9]}; SAL = "words" @ {[0,9]}`, ""},
+		{"bad assignment lifespan", `tuple {[0,9]}; SAL = 1 @ {bad}`, "parse time"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseTuple(sc, c.spec)
+			if err == nil {
+				t.Fatalf("ParseTuple(%q) succeeded, want error", c.spec)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/lifespan"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Demo assembles the demo database every entry point shares (CLI shell,
+// server without a store, examples): the paper's EMP example plus a
+// DEPTREL companion, workload-generated STOCK, and a small SHIP
+// relation with a time-valued attribute for TIME-JOIN demos.
+func Demo() *storage.Store {
+	st := storage.NewStore()
+
+	full := lifespan.Interval(0, 99)
+	es := schema.MustNew("EMP", []string{"NAME"},
+		schema.Attribute{Name: "NAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "SAL", Domain: value.Ints, Lifespan: full, Interp: "step"},
+		schema.Attribute{Name: "DEPT", Domain: value.Strings, Lifespan: full, Interp: "step"},
+	)
+	emp := core.NewRelation(es)
+	emp.MustInsert(core.NewTupleBuilder(es, lifespan.Interval(0, 9)).
+		Key("NAME", value.String_("John")).
+		Set("SAL", 0, 4, value.Int(30000)).
+		Set("SAL", 5, 9, value.Int(34000)).
+		Set("DEPT", 0, 9, value.String_("Toys")).
+		MustBuild())
+	emp.MustInsert(core.NewTupleBuilder(es, lifespan.Interval(3, 19)).
+		Key("NAME", value.String_("Mary")).
+		Set("SAL", 3, 19, value.Int(40000)).
+		Set("DEPT", 3, 9, value.String_("Shoes")).
+		Set("DEPT", 10, 19, value.String_("Books")).
+		MustBuild())
+	emp.MustInsert(core.NewTupleBuilder(es, lifespan.MustParse("{[0,3],[8,14]}")).
+		Key("NAME", value.String_("Ahmed")).
+		Set("SAL", 0, 3, value.Int(30000)).
+		Set("SAL", 8, 14, value.Int(31000)).
+		Set("DEPT", 0, 3, value.String_("Toys")).
+		Set("DEPT", 8, 14, value.String_("Books")).
+		MustBuild())
+	st.Put(emp)
+
+	ds := schema.MustNew("DEPTREL", []string{"DNAME"},
+		schema.Attribute{Name: "DNAME", Domain: value.Strings, Lifespan: full},
+		schema.Attribute{Name: "FLOOR", Domain: value.Ints, Lifespan: full, Interp: "step"},
+	)
+	dept := core.NewRelation(ds)
+	for i, n := range []string{"Toys", "Shoes", "Books"} {
+		dept.MustInsert(core.NewTupleBuilder(ds, lifespan.Interval(0, 19)).
+			Key("DNAME", value.String_(n)).
+			Set("FLOOR", 0, 19, value.Int(int64(i+1))).
+			MustBuild())
+	}
+	st.Put(dept)
+
+	st.Put(Stock(StockConfig{
+		NumStocks: 5, HistoryLen: 60, VolumeGapLo: 0.4, VolumeGapHi: 0.7, Seed: 42,
+	}))
+
+	ss := schema.MustNew("SHIP", []string{"ID"},
+		schema.Attribute{Name: "ID", Domain: value.Ints, Lifespan: full},
+		schema.Attribute{Name: "SHIPDATE", Domain: value.Times, Lifespan: full},
+	)
+	ship := core.NewRelation(ss)
+	ship.MustInsert(core.NewTupleBuilder(ss, lifespan.Interval(0, 19)).
+		Key("ID", value.Int(1)).
+		Set("SHIPDATE", 0, 19, value.TimeVal(7)).
+		MustBuild())
+	ship.MustInsert(core.NewTupleBuilder(ss, lifespan.Interval(5, 19)).
+		Key("ID", value.Int(2)).
+		Set("SHIPDATE", 5, 12, value.TimeVal(9)).
+		Set("SHIPDATE", 13, 19, value.TimeVal(15)).
+		MustBuild())
+	st.Put(ship)
+	return st
+}

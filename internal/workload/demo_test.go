@@ -1,0 +1,19 @@
+package workload
+
+import "testing"
+
+// TestDemo: the shared demo database (CLI shell, server default store)
+// carries all four relations with data in them.
+func TestDemo(t *testing.T) {
+	st := Demo()
+	want := map[string]int{"EMP": 3, "DEPTREL": 3, "STOCK": 5, "SHIP": 2}
+	for name, n := range want {
+		r, ok := st.Get(name)
+		if !ok {
+			t.Fatalf("demo store lacks %s", name)
+		}
+		if got := r.Cardinality(); got != n {
+			t.Fatalf("%s cardinality = %d, want %d", name, got, n)
+		}
+	}
+}
