@@ -59,6 +59,7 @@ func main() {
 	dbPath := flag.String("db", "", "load a saved store instead of the demo database")
 	openDir := flag.String("open", "", "open a durable (write-ahead-logged) store directory instead of the demo database")
 	optimize := flag.Bool("opt", true, "apply the law-based plan rewrites before evaluating")
+	workers := flag.Int("workers", 0, "parallel degree for query execution (0 = number of CPUs)")
 	flag.Parse()
 	useOptimizer = *optimize
 
@@ -91,13 +92,13 @@ func main() {
 	// session are rebuilt then; the deferred close (checkpoint + WAL
 	// release for durable stores, no-op otherwise) covers whatever is
 	// current at exit.
-	db := engine.OpenDB(st)
+	db := engine.OpenDBOptions(st, engine.DBOptions{Workers: *workers})
 	sess := db.NewSession()
 	sess.SetOptimize(useOptimizer)
 	defer func() { closeDB(db) }()
 	attach := func(s *storage.Store) {
 		st = s
-		db = engine.OpenDB(s)
+		db = engine.OpenDBOptions(s, engine.DBOptions{Workers: *workers})
 		sess = db.NewSession()
 		sess.SetOptimize(useOptimizer)
 	}

@@ -42,6 +42,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 16, "max concurrently executing queries")
 	queryDeadline := flag.Duration("query-deadline", 30*time.Second, "per-query deadline (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "grace for in-flight queries on shutdown")
+	workers := flag.Int("workers", 0, "parallel degree for query execution (0 = number of CPUs)")
 	flag.Parse()
 
 	var st *storage.Store
@@ -68,7 +69,7 @@ func main() {
 		st = workload.Demo()
 	}
 
-	db := engine.OpenDB(st)
+	db := engine.OpenDBOptions(st, engine.DBOptions{Workers: *workers})
 	srv := server.New(db, server.Config{
 		Addr:          *addr,
 		MaxConns:      *maxConns,

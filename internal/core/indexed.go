@@ -50,17 +50,15 @@ func JoinPair(rs *schema.Scheme, t1, t2 *Tuple, attrA string, th value.Theta, at
 // overlaps L (tuples missing L entirely contribute nothing); a lifespan
 // interval index provides exactly that set in O(log n + k).
 func TimesliceStaticOver(r *Relation, L lifespan.Lifespan, cand []*Tuple) (*Relation, error) {
-	out := NewRelation(r.scheme)
+	out := make([]*Tuple, 0, len(cand))
 	for _, t := range cand {
-		nt := t.restrict(L)
-		if nt == nil {
-			continue
-		}
-		if err := out.Insert(nt); err != nil {
-			return nil, err
+		if nt := t.restrict(L); nt != nil {
+			out = append(out, nt)
 		}
 	}
-	return out, nil
+	// Restriction keeps each tuple's (unique, constant) key, so the
+	// coalesced construction cannot hit a duplicate.
+	return NewRelationFromTuples(r.scheme, out)
 }
 
 // SelectWhenCondOver is SelectWhenCond computed over a candidate subset.
@@ -72,22 +70,18 @@ func SelectWhenCondOver(r *Relation, c Condition, L lifespan.Lifespan, cand []*T
 	if err := c.check(r.scheme); err != nil {
 		return nil, err
 	}
-	out := NewRelation(r.scheme)
+	out := make([]*Tuple, 0, len(cand))
 	for _, t := range cand {
 		scope := t.l.Intersect(L)
 		holds, err := c.when(t, scope)
 		if err != nil {
 			return nil, fmt.Errorf("core: select-when %s: %w", c, err)
 		}
-		nt := t.restrict(holds)
-		if nt == nil {
-			continue
-		}
-		if err := out.Insert(nt); err != nil {
-			return nil, err
+		if nt := t.restrict(holds); nt != nil {
+			out = append(out, nt)
 		}
 	}
-	return out, nil
+	return NewRelationFromTuples(r.scheme, out)
 }
 
 // SelectIfCondOver is SelectIfCond (existential form only) computed over
@@ -99,7 +93,7 @@ func SelectIfCondOver(r *Relation, c Condition, L lifespan.Lifespan, cand []*Tup
 	if err := c.check(r.scheme); err != nil {
 		return nil, err
 	}
-	out := NewRelation(r.scheme)
+	out := make([]*Tuple, 0, len(cand))
 	for _, t := range cand {
 		scope := t.l.Intersect(L)
 		holds, err := c.when(t, scope)
@@ -107,12 +101,10 @@ func SelectIfCondOver(r *Relation, c Condition, L lifespan.Lifespan, cand []*Tup
 			return nil, fmt.Errorf("core: select-if %s: %w", c, err)
 		}
 		if !holds.IsEmpty() {
-			if err := out.Insert(t); err != nil {
-				return nil, err
-			}
+			out = append(out, t)
 		}
 	}
-	return out, nil
+	return NewRelationFromTuples(r.scheme, out)
 }
 
 // EquiJoinProbe is EquiJoin evaluated as an index lookup join: instead
@@ -145,7 +137,7 @@ func EquiJoinProbeOver(r1, r2 *Relation, attrA, attrB string, ts []*Tuple, probe
 	if err != nil {
 		return nil, err
 	}
-	out := NewRelation(rs)
+	var out []*Tuple
 	for _, t1 := range ts {
 		f1 := t1.Value(attrA)
 		if f1.IsNowhereDefined() {
@@ -156,13 +148,13 @@ func EquiJoinProbeOver(r1, r2 *Relation, attrA, attrB string, ts []*Tuple, probe
 			if err != nil {
 				return nil, fmt.Errorf("core: equi-join probe: %w", err)
 			}
-			if nt == nil {
-				continue
-			}
-			if err := out.Insert(nt); err != nil {
-				return nil, err
+			if nt != nil {
+				out = append(out, nt)
 			}
 		}
 	}
-	return out, nil
+	// Each surviving pair concatenates two distinct keys, and probe
+	// candidates are deduplicated per streamed tuple, so the joined keys
+	// are unique; the coalesced construction still verifies it.
+	return NewRelationFromTuples(rs, out)
 }

@@ -159,15 +159,20 @@ func (a *analysis) render() string {
 func (a *analysis) renderNode(n node, b *strings.Builder, depth int) {
 	c := n.estimate()
 	fmt.Fprintf(b, "%s%s  [rows≈%.0f cost≈%.0f]", strings.Repeat("  ", depth), n.describe(), c.rows, c.work)
-	if st := a.prof.ops[n]; st != nil {
+	if st := a.prof.ops[n]; st != nil && !st.untouched() {
 		fmt.Fprintf(b, "  (actual: rows=%d time=%s self=%s", st.rows, st.wall, a.selfTime(n))
-		if st.lookups > 0 {
-			fmt.Fprintf(b, " lookups=%d", st.lookups)
+		if lk := st.lookups.Load(); lk > 0 {
+			fmt.Fprintf(b, " lookups=%d", lk)
+		}
+		if st.par != nil {
+			fmt.Fprintf(b, " degree=%d partitions=%d scanned=%d pruned=%d",
+				st.par.degree, st.par.parts, st.par.scanned, st.par.pruned)
 		}
 		b.WriteString(")")
 	} else {
 		// A node the execution never touched (e.g. pruned to an empty
-		// candidate set before its child ran).
+		// candidate set before its child ran, or the sequential form an
+		// executed parallel operator wraps).
 		b.WriteString("  (actual: not executed)")
 	}
 	b.WriteString("\n")

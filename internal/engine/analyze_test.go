@@ -131,7 +131,7 @@ func TestAnalyzeJoinLookups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := a.rootStats().lookups; got != 2 {
+	if got := a.rootStats().lookups.Load(); got != 2 {
 		t.Fatalf("join lookups = %d, want 2", got)
 	}
 	if !strings.Contains(a.render(), "lookups=2") {

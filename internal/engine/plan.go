@@ -40,20 +40,20 @@ type node interface {
 	children() []node
 }
 
-// materialize drains an iterator into a fresh relation on scheme s.
+// materialize drains an iterator into a fresh relation on scheme s,
+// collecting the tuples first and building the relation in one
+// coalesced pass (exact-size key map, no per-tuple lock rounds).
 func materialize(s *schema.Scheme, it iterator) (*core.Relation, error) {
-	out := core.NewRelation(s)
+	var ts []*core.Tuple
 	for {
 		t, err := it()
 		if err != nil {
 			return nil, err
 		}
 		if t == nil {
-			return out, nil
+			return core.NewRelationFromTuples(s, ts)
 		}
-		if err := out.Insert(t); err != nil {
-			return nil, err
-		}
+		ts = append(ts, t)
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"container/list"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/hql"
 	"repro/internal/obs"
 	"repro/internal/value"
@@ -23,6 +25,7 @@ var (
 	mPlanStores        = obs.Default.Counter("engine.plancache.stores")
 	mPlanInvalidations = obs.Default.Counter("engine.plancache.invalidations")
 	mPlanEvictions     = obs.Default.Counter("engine.plancache.evictions")
+	mPlanSweeps        = obs.Default.Counter("engine.plancache.sweeps")
 )
 
 func init() {
@@ -183,13 +186,42 @@ func (pc *planCacheT) store(keys []string, p *Plan) {
 	}
 }
 
+// lastSweepEpoch coalesces write-driven sweeps to one per database
+// epoch. A write group touching k catalogued relations delivers k
+// change notifications, but the whole group moved the epoch exactly
+// once — so the first notification CASes the epoch forward and sweeps,
+// and the remaining k−1 observe the already-current epoch and return
+// without touching the cache lock. Sweeping once per group instead of
+// once per member relation is the difference between O(groups) and
+// O(relations) full-cache walks under wide commits.
+var lastSweepEpoch atomic.Uint64
+
+// planCacheNoteWrite is called from the index catalog's change
+// observer, after every relation/publish lock of the commit has been
+// released. It runs at most one stale sweep per epoch; writes to
+// unpublished relations (which never move the epoch) may coalesce into
+// a neighboring sweep, but such relations cannot be plan dependencies —
+// plans only pin relations resolved from a store, and stores publish.
+func planCacheNoteWrite() {
+	e := core.Epoch()
+	old := lastSweepEpoch.Load()
+	if old == e || !lastSweepEpoch.CompareAndSwap(old, e) {
+		return // this epoch's sweep already ran (or another writer won the CAS)
+	}
+	mPlanSweeps.Inc()
+	planCache.mu.Lock()
+	planCache.sweepStaleLocked()
+	planCache.mu.Unlock()
+}
+
 // sweepStaleLocked drops every entry one of whose pinned relations has
 // mutated since planning. Versions are monotone, so such a fence can
 // never pass again; without the sweep an invalidated entry is only
 // evicted when its exact query text is looked up again (or by LRU
 // overflow), retaining dead candidate slices and relation generations
-// meanwhile. Runs on each store — i.e. once per compile, over at most
-// maxPlanCache entries. Entries from a swapped-out environment (same
+// meanwhile. Runs on each store — i.e. once per compile — and once per
+// write epoch via planCacheNoteWrite, over at most maxPlanCache
+// entries each time. Entries from a swapped-out environment (same
 // versions, different store) are not caught here; callers that swap
 // environments run InvalidateStalePlans against the new one.
 func (pc *planCacheT) sweepStaleLocked() {

@@ -113,6 +113,77 @@ func swapStore(t *testing.T, names []string, sal int64) *storage.Store {
 	return st
 }
 
+// TestPlanCacheSweepPerWriteGroup is the regression test for sweep
+// coalescing: a write group spanning k catalogued relations delivers k
+// change notifications but must trigger exactly one stale sweep (the
+// group ticks the epoch once), while k independent single-relation
+// inserts — k epochs — trigger k. It also checks the coalesced sweep
+// actually works: every plan fenced on the group's relations is gone
+// from the cache afterwards without any lookup or store happening.
+func TestPlanCacheSweepPerWriteGroup(t *testing.T) {
+	ResetPlanCache()
+	defer ResetPlanCache()
+
+	names := []string{"A", "B", "C"}
+	st := swapStore(t, names, 100)
+	rels := make([]*core.Relation, len(names))
+	for i, n := range names {
+		r, ok := st.Get(n)
+		if !ok {
+			t.Fatalf("relation %s missing", n)
+		}
+		rels[i] = r
+		// Register the catalog observer (the sweep's delivery channel)
+		// and cache one plan fenced on this relation.
+		BuildIndexes(r)
+		if _, err := Run(fmt.Sprintf(`SELECT WHEN SAL = 100 FROM %s`, n), st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, entries := PlanCacheStats(); entries != len(names) {
+		t.Fatalf("cached %d plans, want %d", entries, len(names))
+	}
+
+	tup := func(r *core.Relation, key string) *core.Tuple {
+		return core.NewTupleBuilder(r.Scheme(), lifespan.Interval(10, 19)).
+			Key("K", value.String_(key)).
+			Set("SAL", 10, 19, value.Int(7)).
+			MustBuild()
+	}
+
+	// One group over all three relations: three notifications, one epoch
+	// tick, exactly one sweep — and it drops all three fenced plans.
+	s0 := mPlanSweeps.Load()
+	g := core.NewWriteGroup()
+	for _, r := range rels {
+		g.Insert(r, tup(r, "g"))
+	}
+	if err := g.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mPlanSweeps.Load() - s0; got != 1 {
+		t.Fatalf("write group over %d relations ran %d sweeps, want 1", len(rels), got)
+	}
+	if _, _, entries := PlanCacheStats(); entries != 0 {
+		t.Fatalf("%d stale plans survived the group sweep, want 0", entries)
+	}
+
+	// Re-cache, then three independent inserts: three epochs, three
+	// sweeps — the uncoalesced baseline the group must beat.
+	for _, n := range names {
+		if _, err := Run(fmt.Sprintf(`SELECT WHEN SAL = 100 FROM %s`, n), st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1 := mPlanSweeps.Load()
+	for _, r := range rels {
+		r.MustInsert(tup(r, "i"))
+	}
+	if got := mPlanSweeps.Load() - s1; got != uint64(len(rels)) {
+		t.Fatalf("%d single-relation inserts ran %d sweeps, want %d", len(rels), got, len(rels))
+	}
+}
+
 // TestInvalidateStalePlansOnSwap is the regression test for the CLI's
 // store-swap path: a plan cached against the old store must not serve
 // results after the environment swaps to a new store with the same

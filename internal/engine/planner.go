@@ -263,7 +263,7 @@ func lower(e hql.Expr, lc *lowerCtx) (node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return lowerTimeslice(child, L, lc), nil
+		return maybeParallel(lowerTimeslice(child, L, lc), lc), nil
 
 	case *hql.SelectExpr:
 		return lowerSelect(n, lc)
@@ -393,7 +393,7 @@ func lowerSelect(n *hql.SelectExpr, lc *lowerCtx) (node, error) {
 	if !isScan || filter.forAll {
 		// ∀ quantification keeps tuples whose scope is empty (vacuous
 		// truth), so no candidate pruning is sound for it.
-		return filter, nil
+		return maybeParallel(filter, lc), nil
 	}
 	best := node(filter)
 	// Candidate pruning via a required equality conjunct: key hash index
@@ -419,7 +419,7 @@ func lowerSelect(n *hql.SelectExpr, lc *lowerCtx) (node, error) {
 				prune: fmt.Sprintf("interval-index during %s", L)}
 		}
 	}
-	return best, nil
+	return maybeParallel(best, lc), nil
 }
 
 // baseRel resolves a plan node to the base relation its tuples derive
@@ -439,6 +439,8 @@ func baseRel(n node) (*core.Relation, string, bool) {
 	case *filterNode:
 		return baseRel(x.child)
 	case *projectNode:
+		return baseRel(x.child)
+	case *parallelNode:
 		return baseRel(x.child)
 	}
 	return nil, "", false
@@ -514,7 +516,7 @@ func lowerBinary(n *hql.BinaryExpr, lc *lowerCtx) (node, error) {
 		return nil, err
 	}
 	if n.Op == "JOIN" && n.Theta == value.EQ {
-		return lowerEquiJoin(n, left, right, lc), nil
+		return maybeParallel(lowerEquiJoin(n, left, right, lc), lc), nil
 	}
 	le, re := left.estimate(), right.estimate()
 	est := cost{rows: le.rows + re.rows, work: le.work + re.work + le.rows + re.rows}

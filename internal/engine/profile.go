@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -16,11 +17,33 @@ type profiler struct {
 	ops map[node]*opStats
 }
 
-// opStats is one operator's measured execution.
+// opStats is one operator's measured execution. rows and wall are
+// written only by the query goroutine (profIter pulls, profExec
+// assignment); lookups is atomic because a parallel join's workers
+// probe — and count — concurrently. par carries the parallel
+// executor's partition accounting, written once after the fan-in.
 type opStats struct {
 	rows    int64
 	wall    time.Duration
-	lookups int64
+	lookups atomic.Int64
+	par     *parStats
+}
+
+// parStats is one parallel operator's partition accounting: the degree
+// actually used (helpers + the query goroutine), total partitions, and
+// how many were scanned versus pruned by the lifespan-range window.
+type parStats struct {
+	degree  int
+	parts   int
+	scanned int
+	pruned  int
+}
+
+// untouched reports whether the entry was pre-created (so parallel
+// workers can count probes without racing the stats map) but never
+// actually measured — the renderer shows such nodes as not executed.
+func (st *opStats) untouched() bool {
+	return st.rows == 0 && st.wall == 0 && st.lookups.Load() == 0 && st.par == nil
 }
 
 func newProfiler() *profiler {
@@ -84,8 +107,11 @@ func (s *Snapshot) profExec(n node, f func() (*core.Relation, error)) (*core.Rel
 }
 
 // profLookup counts one index probe against the node's indexed side.
+// Safe from parallel workers: stats entries are created by the query
+// goroutine before workers start (profExec/open precede the fan-out),
+// and the count itself is atomic.
 func (s *Snapshot) profLookup(n node) {
 	if s != nil && s.prof != nil {
-		s.prof.stats(n).lookups++
+		s.prof.stats(n).lookups.Add(1)
 	}
 }

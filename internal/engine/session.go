@@ -23,14 +23,35 @@ import (
 // DB methods are safe for concurrent use.
 type DB struct {
 	store *storage.Store
+	// workers, when ≥ 1, is the degree of parallelism every session of
+	// this DB executes parallel plan operators with; 0 defers to the
+	// process default (SetDefaultWorkers / GOMAXPROCS).
+	workers int
 
 	mu     sync.Mutex
 	closed bool
 }
 
+// DBOptions configures OpenDBOptions. The zero value matches OpenDB.
+type DBOptions struct {
+	// Workers is the degree of parallelism for this DB's queries:
+	// 1 forces sequential execution, 0 defers to the process default.
+	Workers int
+}
+
 // OpenDB wraps an existing store — in-memory or durable — as a DB.
 func OpenDB(st *storage.Store) *DB {
 	return &DB{store: st}
+}
+
+// OpenDBOptions is OpenDB with explicit options — the `-workers` flag
+// of the CLI, server and bench harness lands here.
+func OpenDBOptions(st *storage.Store, o DBOptions) *DB {
+	w := o.Workers
+	if w < 0 {
+		w = 0
+	}
+	return &DB{store: st, workers: w}
 }
 
 // Store exposes the underlying store for administrative paths (save,
@@ -100,10 +121,23 @@ func (s *Session) SetOptimize(on bool) { s.optimize = on }
 // Optimize reports the session's rewriter setting.
 func (s *Session) Optimize() bool { return s.optimize }
 
+// withDBWorkers applies the DB's workers option to a query context;
+// contexts already carrying an explicit WithWorkers value keep it.
+func (s *Session) withDBWorkers(ctx context.Context) context.Context {
+	if s.db.workers < 1 {
+		return ctx
+	}
+	if n, ok := ctx.Value(workersCtxKey{}).(int); ok && n >= 1 {
+		return ctx
+	}
+	return WithWorkers(ctx, s.db.workers)
+}
+
 // Query parses, plans and executes src under ctx: cancellation and
 // deadlines abort mid-scan with ErrCanceled/ErrDeadline (see
 // RunContext). Results reflect one pinned snapshot of the store.
 func (s *Session) Query(ctx context.Context, src string) (hql.Result, error) {
+	ctx = s.withDBWorkers(ctx)
 	if s.optimize {
 		return hql.RunOptimizedContext(ctx, src, s.db.store)
 	}
@@ -117,7 +151,7 @@ func (s *Session) Eval(ctx context.Context, e hql.Expr) (hql.Result, error) {
 	if s.optimize {
 		e, _ = hql.Optimize(e)
 	}
-	return EvalContext(ctx, e, s.db.store)
+	return EvalContext(s.withDBWorkers(ctx), e, s.db.store)
 }
 
 // Explain renders the chosen physical plan without executing it,
@@ -129,7 +163,7 @@ func (s *Session) Explain(src string) (string, error) {
 // ExplainAnalyze executes src under ctx with per-operator profiling
 // and renders the annotated plan.
 func (s *Session) ExplainAnalyze(ctx context.Context, src string) (string, error) {
-	return ExplainAnalyzeContext(ctx, src, s.db.store, s.optimize)
+	return ExplainAnalyzeContext(s.withDBWorkers(ctx), src, s.db.store, s.optimize)
 }
 
 // BeginGroup opens a staged write group. ErrState if one is already

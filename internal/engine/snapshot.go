@@ -42,6 +42,12 @@ type Snapshot struct {
 	// queries (context.Background callers), which then pay zero checks.
 	ctx   context.Context
 	pulls int
+	// workers is the degree of parallelism the query's parallel
+	// operators may use, resolved at pin time from the query context
+	// (WithWorkers) or the process default. It is execution state, not
+	// plan state: plans stay degree-agnostic so sessions with different
+	// settings share cached plans. 0/1 means sequential.
+	workers int
 }
 
 // cancelBatch is the iterator cancellation granularity: the number of
@@ -97,6 +103,7 @@ func pinPlan(ctx context.Context, p *Plan) (*Snapshot, bool) {
 	epoch, vers := core.Pin(rels...)
 	s, ok := newSnapshot(p, epoch, vers)
 	s.attachCtx(ctx)
+	s.workers = workersFrom(ctx)
 	return s, ok
 }
 
@@ -139,6 +146,7 @@ func pinPlanExclusive(ctx context.Context, compile func() (*Plan, error)) (*Plan
 		return nil, nil, fmt.Errorf("engine: snapshot raced planning under the publish lock")
 	}
 	snap.attachCtx(ctx)
+	snap.workers = workersFrom(ctx)
 	return p, snap, nil
 }
 

@@ -29,3 +29,26 @@ func annotatedLiveRead(r *core.Relation) {
 	//lint:allow pindiscipline fixture exercises the sanctioned escape hatch
 	r.Tuples()
 }
+
+// Worker-goroutine shapes: a raw read called inside a spawned closure
+// is the direct-call violation; a raw accessor captured as a method
+// value escapes into the worker with no call site left to flag, so the
+// capture itself is the violation.
+func workerShapes(r *core.Relation) {
+	go func() {
+		r.Lookup("k") // want `raw \(\*core\.Relation\)\.Lookup read outside a pinned snapshot`
+	}()
+	read := r.Tuples // want `raw \(\*core\.Relation\)\.Tuples captured as a method value`
+	go func() { _ = read() }()
+	submit(r.Lifespan) // want `raw \(\*core\.Relation\)\.Lifespan captured as a method value`
+}
+
+func submit(task any) {}
+
+func pinnedWorkerShapes(r *core.Relation) {
+	_, vers := core.Pin(r)
+	read := vers[0].Tuples // RelVersion accessors are the sanctioned capture
+	go func() { _ = read() }()
+	//lint:allow pindiscipline fixture exercises the capture escape hatch
+	submit(r.Tuples)
+}
